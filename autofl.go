@@ -1,0 +1,402 @@
+// Package autofl is the public API of the AutoFL reproduction: a
+// heterogeneity-aware, energy-efficient federated-learning simulator
+// with the AutoFL reinforcement-learning controller (Kim & Wu, MICRO
+// 2021) and every baseline the paper evaluates against.
+//
+// The entry point is a Scenario — a workload, global parameters, data
+// distribution, and runtime-variance environment — on which any of the
+// selection policies can be run:
+//
+//	scenario := autofl.Scenario{
+//		Workload: autofl.CNNMNIST,
+//		Setting:  autofl.S3,
+//		Data:     autofl.NonIID50,
+//		Env:      autofl.EnvField,
+//		Seed:     42,
+//	}
+//	report, err := scenario.Run(autofl.PolicyAutoFL)
+//
+// Reports carry energy, time-to-convergence and accuracy; Compare
+// normalizes a set of reports against a baseline the way the paper's
+// figures do.
+package autofl
+
+import (
+	"fmt"
+
+	"autofl/internal/core"
+	"autofl/internal/data"
+	"autofl/internal/metrics"
+	"autofl/internal/policy"
+	"autofl/internal/sim"
+	"autofl/internal/workload"
+)
+
+// Workload names the training task (§5.2 of the paper).
+type Workload string
+
+// The three evaluation workloads.
+const (
+	CNNMNIST          Workload = "CNN-MNIST"
+	LSTMShakespeare   Workload = "LSTM-Shakespeare"
+	MobileNetImageNet Workload = "MobileNet-ImageNet"
+)
+
+// Workloads lists the available workloads in the paper's order.
+func Workloads() []Workload {
+	return []Workload{CNNMNIST, LSTMShakespeare, MobileNetImageNet}
+}
+
+// Setting names a (B, E, K) global-parameter tuple (Table 5).
+type Setting string
+
+// The four Table 5 settings.
+const (
+	S1 Setting = "S1"
+	S2 Setting = "S2"
+	S3 Setting = "S3"
+	S4 Setting = "S4"
+)
+
+// Settings lists S1–S4.
+func Settings() []Setting { return []Setting{S1, S2, S3, S4} }
+
+// DataScenario names a data-heterogeneity setting (§5.2).
+type DataScenario string
+
+// The four data-distribution scenarios.
+const (
+	IdealIID  DataScenario = "iid"
+	NonIID50  DataScenario = "noniid50"
+	NonIID75  DataScenario = "noniid75"
+	NonIID100 DataScenario = "noniid100"
+)
+
+// DataScenarios lists the four settings in order of increasing
+// heterogeneity.
+func DataScenarios() []DataScenario {
+	return []DataScenario{IdealIID, NonIID50, NonIID75, NonIID100}
+}
+
+// Environment names a runtime-variance environment (§3.2).
+type Environment string
+
+// The evaluation environments.
+const (
+	// EnvIdeal has no interference and a stable network (Fig 5a).
+	EnvIdeal Environment = "ideal"
+	// EnvInterference adds a web-browsing co-runner on a random subset
+	// of devices (Fig 5b).
+	EnvInterference Environment = "interference"
+	// EnvWeakNetwork degrades the wireless link (Fig 5c).
+	EnvWeakNetwork Environment = "weak-network"
+	// EnvField combines both variance sources — the realistic default.
+	EnvField Environment = "field"
+)
+
+// Environments lists the variance environments.
+func Environments() []Environment {
+	return []Environment{EnvIdeal, EnvInterference, EnvWeakNetwork, EnvField}
+}
+
+// Policy names a participant-selection policy.
+type Policy string
+
+// The selection policies of §5.1 plus the prior-work comparators of
+// §6.3.
+const (
+	PolicyRandom       Policy = "FedAvg-Random"
+	PolicyPerformance  Policy = "Performance"
+	PolicyPower        Policy = "Power"
+	PolicyOParticipant Policy = "Oparticipant"
+	PolicyOFL          Policy = "OFL"
+	PolicyAutoFL       Policy = "AutoFL"
+	PolicyFedNova      Policy = "FedNova"
+	PolicyFEDL         Policy = "FEDL"
+)
+
+// Policies lists every available policy.
+func Policies() []Policy {
+	return []Policy{
+		PolicyRandom, PolicyPerformance, PolicyPower,
+		PolicyOParticipant, PolicyOFL, PolicyAutoFL,
+		PolicyFedNova, PolicyFEDL,
+	}
+}
+
+// Scenario describes one federated-learning deployment to simulate.
+// The zero value of optional fields selects the paper's defaults
+// (200-device fleet, 1000-round horizon, workload-specific accuracy
+// target).
+type Scenario struct {
+	// Workload is the training task (default CNN-MNIST).
+	Workload Workload
+	// Setting is the (B, E, K) tuple (default S3).
+	Setting Setting
+	// Data is the heterogeneity scenario (default Ideal IID).
+	Data DataScenario
+	// Env is the runtime-variance environment (default field
+	// conditions).
+	Env Environment
+	// Seed makes runs reproducible; equal seeds and scenarios yield
+	// identical reports.
+	Seed uint64
+	// MaxRounds bounds the run (default 1000, the paper's horizon).
+	MaxRounds int
+	// AutoFL configures the AutoFL controller when it is the policy
+	// being run; nil selects the paper's hyperparameters.
+	AutoFL *AutoFLOptions
+}
+
+// AutoFLOptions exposes the controller hyperparameters (§5.3).
+type AutoFLOptions struct {
+	// Epsilon is the exploration probability (default 0.1).
+	Epsilon float64
+	// LearningRate is γ (default 0.9).
+	LearningRate float64
+	// Discount is µ (default 0.1).
+	Discount float64
+	// SharedTables shares Q-tables within a device category (§4
+	// Scalability).
+	SharedTables bool
+}
+
+// Report is the outcome of one simulated FL run.
+type Report struct {
+	// Policy that produced the run.
+	Policy Policy
+	// Converged reports whether the accuracy target was reached.
+	Converged bool
+	// Rounds executed (equals the convergence round when converged).
+	Rounds int
+	// TimeToTargetSec and EnergyToTargetJ cover the run until
+	// convergence (or the full horizon when stalled).
+	TimeToTargetSec float64
+	EnergyToTargetJ float64
+	// GlobalPPW and LocalPPW are the paper's efficiency metrics:
+	// training progress per joule, fleet-wide and participants-only.
+	GlobalPPW float64
+	LocalPPW  float64
+	// FinalAccuracy is the model accuracy at the end of the run.
+	FinalAccuracy float64
+	// AccuracyTrace holds per-round accuracy (Fig 6a-style curves).
+	AccuracyTrace []float64
+	// RewardTrace holds AutoFL's per-round mean reward (Fig 15); nil
+	// for other policies.
+	RewardTrace []float64
+}
+
+func (s Scenario) simConfig() (sim.Config, error) {
+	cfg := sim.Config{Seed: s.Seed, MaxRounds: s.MaxRounds}
+
+	name := s.Workload
+	if name == "" {
+		name = CNNMNIST
+	}
+	w := workload.ByName(string(name))
+	if w == nil {
+		return cfg, fmt.Errorf("autofl: unknown workload %q", name)
+	}
+	cfg.Workload = w
+
+	switch s.Setting {
+	case "", S3:
+		cfg.Params = workload.S3
+	case S1:
+		cfg.Params = workload.S1
+	case S2:
+		cfg.Params = workload.S2
+	case S4:
+		cfg.Params = workload.S4
+	default:
+		return cfg, fmt.Errorf("autofl: unknown setting %q", s.Setting)
+	}
+
+	switch s.Data {
+	case "", IdealIID:
+		cfg.Data = data.IdealIID
+	case NonIID50:
+		cfg.Data = data.NonIID50
+	case NonIID75:
+		cfg.Data = data.NonIID75
+	case NonIID100:
+		cfg.Data = data.NonIID100
+	default:
+		return cfg, fmt.Errorf("autofl: unknown data scenario %q", s.Data)
+	}
+
+	switch s.Env {
+	case "", EnvField:
+		cfg.Env = sim.EnvField()
+	case EnvIdeal:
+		cfg.Env = sim.EnvIdeal()
+	case EnvInterference:
+		cfg.Env = sim.EnvInterference()
+	case EnvWeakNetwork:
+		cfg.Env = sim.EnvWeakNetwork()
+	default:
+		return cfg, fmt.Errorf("autofl: unknown environment %q", s.Env)
+	}
+	return cfg, nil
+}
+
+func (s Scenario) policy(p Policy) (sim.Policy, error) {
+	seed := s.Seed ^ 0x5eed
+	switch p {
+	case PolicyRandom:
+		return policy.NewRandom(seed), nil
+	case PolicyPerformance:
+		return policy.NewPerformance(seed), nil
+	case PolicyPower:
+		return policy.NewPower(seed), nil
+	case PolicyOParticipant:
+		return policy.NewOParticipant(), nil
+	case PolicyOFL:
+		return policy.NewOFL(), nil
+	case PolicyFedNova:
+		return policy.NewFedNova(seed), nil
+	case PolicyFEDL:
+		return policy.NewFEDL(seed), nil
+	case PolicyAutoFL:
+		opts := core.DefaultOptions(seed)
+		if s.AutoFL != nil {
+			if s.AutoFL.Epsilon > 0 {
+				opts.Epsilon = s.AutoFL.Epsilon
+			}
+			if s.AutoFL.LearningRate > 0 {
+				opts.LearningRate = s.AutoFL.LearningRate
+			}
+			if s.AutoFL.Discount > 0 {
+				opts.Discount = s.AutoFL.Discount
+			}
+			opts.SharedTables = s.AutoFL.SharedTables
+		}
+		return core.New(opts), nil
+	default:
+		return nil, fmt.Errorf("autofl: unknown policy %q", p)
+	}
+}
+
+// Run simulates the scenario under the given selection policy.
+func (s Scenario) Run(p Policy) (*Report, error) {
+	cfg, err := s.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := s.policy(p)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.New(cfg).Run(pol)
+	return &Report{
+		Policy:          p,
+		Converged:       res.Converged,
+		Rounds:          res.Rounds,
+		TimeToTargetSec: res.TimeToTargetSec,
+		EnergyToTargetJ: res.EnergyToTargetJ,
+		GlobalPPW:       res.GlobalPPW(),
+		LocalPPW:        res.LocalPPW(),
+		FinalAccuracy:   res.FinalAccuracy,
+		AccuracyTrace:   res.AccuracyTrace,
+		RewardTrace:     res.RewardTrace,
+	}, nil
+}
+
+// RunAll simulates the scenario under each policy in turn.
+func (s Scenario) RunAll(ps ...Policy) ([]*Report, error) {
+	if len(ps) == 0 {
+		ps = Policies()
+	}
+	out := make([]*Report, 0, len(ps))
+	for _, p := range ps {
+		r, err := s.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Comparison normalizes reports against a baseline, mirroring the
+// paper's normalized-PPW figures.
+type Comparison struct {
+	// Baseline is the policy everything is normalized to.
+	Baseline Policy
+	// Rows holds one entry per report, in input order.
+	Rows []ComparisonRow
+}
+
+// ComparisonRow is one policy's improvement factors over the baseline.
+type ComparisonRow struct {
+	Policy Policy
+	// GlobalPPWx, LocalPPWx and ConvTimex are improvement multipliers
+	// (1.0 = parity with the baseline).
+	GlobalPPWx, LocalPPWx, ConvTimex float64
+	Converged                        bool
+	FinalAccuracy                    float64
+}
+
+// Compare normalizes the reports against the named baseline policy,
+// which must be present among them.
+func Compare(baseline Policy, reports []*Report) (*Comparison, error) {
+	results := make([]*sim.Result, 0, len(reports))
+	for _, r := range reports {
+		results = append(results, reportToResult(r))
+	}
+	cmp, err := metrics.Compare(string(baseline), results)
+	if err != nil {
+		return nil, err
+	}
+	out := &Comparison{Baseline: baseline}
+	for _, row := range cmp.Rows {
+		out.Rows = append(out.Rows, ComparisonRow{
+			Policy:        Policy(row.Policy),
+			GlobalPPWx:    row.GlobalPPWx,
+			LocalPPWx:     row.LocalPPWx,
+			ConvTimex:     row.ConvTimex,
+			Converged:     row.Converged,
+			FinalAccuracy: row.FinalAccuracy,
+		})
+	}
+	return out, nil
+}
+
+// reportToResult reconstructs the sim.Result fields Compare needs.
+func reportToResult(r *Report) *sim.Result {
+	res := &sim.Result{
+		Policy:          string(r.Policy),
+		Converged:       r.Converged,
+		Rounds:          r.Rounds,
+		TimeToTargetSec: r.TimeToTargetSec,
+		EnergyToTargetJ: r.EnergyToTargetJ,
+		FinalAccuracy:   r.FinalAccuracy,
+	}
+	// Invert the PPW definitions to recover the progress-normalized
+	// energies metrics.Compare expects.
+	if r.GlobalPPW > 0 {
+		res.EnergyToTargetJ = 1 / r.GlobalPPW * progressOf(r)
+	}
+	if r.LocalPPW > 0 {
+		res.ParticipantEnergyToTargetJ = 1 / r.LocalPPW * progressOf(r)
+	}
+	// Carry floor/target so Progress() reproduces the original value.
+	res.AccuracyFloor = 0
+	res.TargetAccuracy = 1
+	if r.Converged {
+		res.FinalAccuracy = 1
+	} else {
+		res.FinalAccuracy = progressOf(r)
+	}
+	return res
+}
+
+func progressOf(r *Report) float64 {
+	if r.Converged {
+		return 1
+	}
+	if r.EnergyToTargetJ > 0 && r.GlobalPPW > 0 {
+		return r.GlobalPPW * r.EnergyToTargetJ
+	}
+	return 0
+}

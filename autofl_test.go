@@ -1,0 +1,161 @@
+package autofl
+
+import (
+	"math"
+	"testing"
+)
+
+func quick(seed uint64) Scenario {
+	return Scenario{
+		Workload:  CNNMNIST,
+		Setting:   S3,
+		Data:      IdealIID,
+		Env:       EnvIdeal,
+		Seed:      seed,
+		MaxRounds: 500,
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	r, err := (Scenario{Seed: 1, MaxRounds: 400}).Run(PolicyRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Policy != PolicyRandom {
+		t.Errorf("policy = %q", r.Policy)
+	}
+	if r.Rounds == 0 || r.EnergyToTargetJ <= 0 {
+		t.Error("report missing basic measurements")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []Scenario{
+		{Workload: "nope"},
+		{Setting: "S9"},
+		{Data: "weird"},
+		{Env: "lunar"},
+	}
+	for _, s := range cases {
+		if _, err := s.Run(PolicyRandom); err == nil {
+			t.Errorf("scenario %+v should fail validation", s)
+		}
+	}
+	if _, err := quick(1).Run("NotAPolicy"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	a, err := quick(7).Run(PolicyAutoFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := quick(7).Run(PolicyAutoFL)
+	if a.EnergyToTargetJ != b.EnergyToTargetJ || a.Rounds != b.Rounds {
+		t.Error("identical scenarios+seeds must produce identical reports")
+	}
+}
+
+func TestAutoFLReportHasRewardTrace(t *testing.T) {
+	r, err := quick(3).Run(PolicyAutoFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RewardTrace) == 0 {
+		t.Error("AutoFL reports should include the reward trace")
+	}
+	random, _ := quick(3).Run(PolicyRandom)
+	if random.RewardTrace != nil {
+		t.Error("non-learning policies should not carry a reward trace")
+	}
+}
+
+func TestRunAllAndCompare(t *testing.T) {
+	s := quick(5)
+	s.Env = EnvField
+	reports, err := s.RunAll(PolicyRandom, PolicyAutoFL, PolicyOFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("RunAll returned %d reports", len(reports))
+	}
+	cmp, err := Compare(PolicyRandom, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseRow *ComparisonRow
+	for i := range cmp.Rows {
+		if cmp.Rows[i].Policy == PolicyRandom {
+			baseRow = &cmp.Rows[i]
+		}
+	}
+	if baseRow == nil {
+		t.Fatal("baseline row missing")
+	}
+	if math.Abs(baseRow.GlobalPPWx-1) > 1e-9 {
+		t.Errorf("baseline normalizes to %v, want 1.0", baseRow.GlobalPPWx)
+	}
+	for _, row := range cmp.Rows {
+		if row.Policy == PolicyAutoFL && row.GlobalPPWx <= 1 {
+			t.Errorf("AutoFL PPW improvement = %v, want > 1 in the field env", row.GlobalPPWx)
+		}
+	}
+}
+
+func TestCompareMissingBaseline(t *testing.T) {
+	reports, _ := quick(6).RunAll(PolicyRandom)
+	if _, err := Compare(PolicyOFL, reports); err == nil {
+		t.Error("missing baseline should error")
+	}
+}
+
+func TestEnumerations(t *testing.T) {
+	if len(Workloads()) != 3 || len(Settings()) != 4 || len(DataScenarios()) != 4 {
+		t.Error("enumeration lengths wrong")
+	}
+	if len(Policies()) != 8 {
+		t.Errorf("policies = %d, want 8", len(Policies()))
+	}
+	if len(Environments()) != 4 {
+		t.Error("environments wrong")
+	}
+}
+
+func TestAutoFLOptionsApplied(t *testing.T) {
+	s := quick(8)
+	s.AutoFL = &AutoFLOptions{Epsilon: 0.3, SharedTables: true}
+	r, err := s.Run(PolicyAutoFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds == 0 {
+		t.Error("run with custom options produced no rounds")
+	}
+	// Different hyperparameters should change the trajectory.
+	base, _ := quick(8).Run(PolicyAutoFL)
+	if base.EnergyToTargetJ == r.EnergyToTargetJ {
+		t.Error("custom epsilon should alter the run")
+	}
+}
+
+func TestHeterogeneityScenario(t *testing.T) {
+	s := quick(9)
+	s.Data = NonIID75
+	s.MaxRounds = 800
+	random, err := s.Run(PolicyRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.Converged {
+		t.Error("random selection should stall at Non-IID(75%)")
+	}
+	auto, err := s.Run(PolicyAutoFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Converged {
+		t.Error("AutoFL should converge at Non-IID(75%)")
+	}
+}

@@ -1,0 +1,249 @@
+// Benchmarks: one entry point per reproduced table/figure (see the
+// per-experiment index in DESIGN.md), plus microbenchmarks for the
+// §6.4 overhead analysis. Figure benchmarks exercise the same code
+// paths as cmd/autofl-bench at a reduced scale (smaller fleet, shorter
+// horizon) so `go test -bench=.` stays fast; the full-scale numbers
+// live in EXPERIMENTS.md.
+package autofl
+
+import (
+	"testing"
+
+	"autofl/internal/core"
+	"autofl/internal/data"
+	"autofl/internal/device"
+	"autofl/internal/fedavg"
+	"autofl/internal/policy"
+	"autofl/internal/qlearn"
+	"autofl/internal/rng"
+	"autofl/internal/sim"
+	"autofl/internal/workload"
+)
+
+// benchConfig is a reduced-scale run: 40-device fleet, 60 rounds.
+func benchConfig(seed uint64) sim.Config {
+	return sim.Config{
+		Workload:       workload.CNNMNIST(),
+		Params:         workload.GlobalParams{B: 16, E: 5, K: 8},
+		Fleet:          device.NewFleet(6, 14, 20),
+		Data:           data.IdealIID,
+		Env:            sim.EnvField(),
+		Seed:           seed,
+		MaxRounds:      60,
+		TargetAccuracy: 1.1, // run the fixed horizon
+	}
+}
+
+func benchRun(b *testing.B, mk func(i int) sim.Policy, mut func(*sim.Config)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(uint64(i + 1))
+		if mut != nil {
+			mut(&cfg)
+		}
+		res := sim.New(cfg).Run(mk(i))
+		if res.Rounds == 0 {
+			b.Fatal("run produced no rounds")
+		}
+	}
+}
+
+// BenchmarkFig01Headroom — E1: random vs OFL PPW headroom.
+func BenchmarkFig01Headroom(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return policy.NewOFL() }, nil)
+}
+
+// BenchmarkFig04GlobalParams — E2: cluster policies across settings.
+func BenchmarkFig04GlobalParams(b *testing.B) {
+	c3, _ := policy.ClusterByName("C3")
+	benchRun(b, func(i int) sim.Policy { return policy.NewStatic("C3", c3, uint64(i)) },
+		func(cfg *sim.Config) { cfg.Params = workload.GlobalParams{B: 32, E: 10, K: 8} })
+}
+
+// BenchmarkFig05RuntimeVariance — E3: cluster policy under interference.
+func BenchmarkFig05RuntimeVariance(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return policy.NewPerformance(uint64(i)) },
+		func(cfg *sim.Config) { cfg.Env = sim.EnvInterference() })
+}
+
+// BenchmarkFig06DataHeterogeneity — E4: random selection on non-IID data.
+func BenchmarkFig06DataHeterogeneity(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return policy.NewRandom(uint64(i)) },
+		func(cfg *sim.Config) { cfg.Data = data.NonIID75 })
+}
+
+// BenchmarkFig08Overview — E5: the AutoFL controller end to end.
+func BenchmarkFig08Overview(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return core.New(core.DefaultOptions(uint64(i))) }, nil)
+}
+
+// BenchmarkFig09GlobalParamAdaptability — E6: AutoFL at S1-heavy work.
+func BenchmarkFig09GlobalParamAdaptability(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return core.New(core.DefaultOptions(uint64(i))) },
+		func(cfg *sim.Config) { cfg.Params = workload.GlobalParams{B: 32, E: 10, K: 8} })
+}
+
+// BenchmarkFig10VarianceAdaptability — E7: AutoFL under interference.
+func BenchmarkFig10VarianceAdaptability(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return core.New(core.DefaultOptions(uint64(i))) },
+		func(cfg *sim.Config) { cfg.Env = sim.EnvInterference() })
+}
+
+// BenchmarkFig11HeterogeneityAdaptability — E8: AutoFL on non-IID data.
+func BenchmarkFig11HeterogeneityAdaptability(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return core.New(core.DefaultOptions(uint64(i))) },
+		func(cfg *sim.Config) { cfg.Data = data.NonIID100 })
+}
+
+// BenchmarkFig12PredictionAccuracy — E9: AutoFL + oracle per round.
+func BenchmarkFig12PredictionAccuracy(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(3)
+	eng := sim.New(cfg)
+	auto := core.New(core.DefaultOptions(4))
+	oracle := policy.NewOFL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, res := eng.RunRound(auto, i, 0.5)
+		auto.Feedback(ctx, res)
+		_ = oracle.Select(ctx)
+	}
+}
+
+// BenchmarkFig13PriorWork — E10: FedNova aggregation traits.
+func BenchmarkFig13PriorWork(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return policy.NewFedNova(uint64(i)) },
+		func(cfg *sim.Config) { cfg.Data = data.NonIID50 })
+}
+
+// BenchmarkFig14PriorWorkStress — E11: FEDL under weak network.
+func BenchmarkFig14PriorWorkStress(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy { return policy.NewFEDL(uint64(i)) },
+		func(cfg *sim.Config) { cfg.Env = sim.EnvWeakNetwork() })
+}
+
+// BenchmarkFig15RewardConvergence — E12: shared-table controller.
+func BenchmarkFig15RewardConvergence(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy {
+		opts := core.DefaultOptions(uint64(i))
+		opts.SharedTables = true
+		return core.New(opts)
+	}, nil)
+}
+
+// BenchmarkOverheadQTableOps — E13: the §6.4 controller-step costs.
+// The paper reports ~10.5us for selection and ~22.1us for the update
+// on 200 devices; per-op means here correspond to those steps.
+func BenchmarkOverheadQTableOps(b *testing.B) {
+	b.Run("select", func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := benchConfig(5)
+		cfg.Fleet = device.DefaultFleet() // paper-scale 200 devices
+		cfg.Params.K = 20
+		eng := sim.New(cfg)
+		ctrl := core.New(core.DefaultOptions(6))
+		ctx, res := eng.RunRound(ctrl, 0, 0.5)
+		ctrl.Feedback(ctx, res)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ctrl.Select(ctx)
+		}
+	})
+	b.Run("update", func(b *testing.B) {
+		b.ReportAllocs()
+		s := rng.New(7)
+		table := qlearn.NewTable(core.Actions(), s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			table.Update("s|u1|m0|n0|d2", "CPU@2", 1.5, "s|u0|m0|n0|d2", "CPU@2", 0.9, 0.1)
+		}
+	})
+}
+
+// BenchmarkEnergyModelError — E14: the phase-aware energy estimator.
+func BenchmarkEnergyModelError(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(8)
+	eng := sim.New(cfg)
+	ctx, _ := eng.RunRound(policy.NewRandom(9), 0, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ctx.EstimateEnergy(i%40, device.CPU, -1, 60)
+	}
+}
+
+// BenchmarkTable4Clusters — E15: one static-cluster round at paper
+// scale (200 devices).
+func BenchmarkTable4Clusters(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(10)
+	cfg.Fleet = device.DefaultFleet()
+	cfg.Params.K = 20
+	eng := sim.New(cfg)
+	c3, _ := policy.ClusterByName("C3")
+	p := policy.NewStatic("C3", c3, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.RunRound(p, i, 0.5)
+	}
+}
+
+// BenchmarkHyperparamSensitivity — E16: a low-learning-rate variant.
+func BenchmarkHyperparamSensitivity(b *testing.B) {
+	benchRun(b, func(i int) sim.Policy {
+		opts := core.DefaultOptions(uint64(i))
+		opts.LearningRate = 0.1
+		return core.New(opts)
+	}, nil)
+}
+
+// BenchmarkRealFedAvg — E17: one genuine federated round (pure-Go SGD
+// across 8 clients).
+func BenchmarkRealFedAvg(b *testing.B) {
+	b.ReportAllocs()
+	cfg := fedavg.DefaultConfig()
+	cfg.Devices = 16
+	cfg.K = 8
+	tr, err := fedavg.NewTrainer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := fedavg.RandomSelector(cfg.K, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Round(i, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRound is the core round-engine step at paper scale —
+// the unit every figure above composes.
+func BenchmarkEngineRound(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(13)
+	cfg.Fleet = device.DefaultFleet()
+	cfg.Params.K = 20
+	eng := sim.New(cfg)
+	p := policy.NewRandom(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.RunRound(p, i, 0.5)
+	}
+}
+
+// BenchmarkOracleSelect isolates the OFL oracle's per-round search.
+func BenchmarkOracleSelect(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(15)
+	cfg.Fleet = device.DefaultFleet()
+	cfg.Params.K = 20
+	eng := sim.New(cfg)
+	ctx, _ := eng.RunRound(policy.NewRandom(16), 0, 0.5)
+	oracle := policy.NewOFL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = oracle.Select(ctx)
+	}
+}

@@ -1,0 +1,112 @@
+// Command autoflsim runs one federated-learning scenario under a
+// chosen selection policy (or all of them) and prints the measured
+// energy efficiency, convergence time, and accuracy.
+//
+// Examples:
+//
+//	autoflsim -policy AutoFL -workload CNN-MNIST -setting S3 -env field
+//	autoflsim -compare -data noniid75
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autofl"
+	"autofl/internal/metrics"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", string(autofl.CNNMNIST), "workload: CNN-MNIST | LSTM-Shakespeare | MobileNet-ImageNet")
+		setting      = flag.String("setting", "S3", "global parameters: S1 | S2 | S3 | S4 (Table 5)")
+		dataScenario = flag.String("data", "iid", "data heterogeneity: iid | noniid50 | noniid75 | noniid100")
+		env          = flag.String("env", "field", "runtime variance: ideal | interference | weak-network | field")
+		policyName   = flag.String("policy", string(autofl.PolicyAutoFL), "selection policy (see -list)")
+		seed         = flag.Uint64("seed", 1, "random seed (runs are reproducible per seed)")
+		rounds       = flag.Int("rounds", 0, "max aggregation rounds (0 = paper default 1000)")
+		compare      = flag.Bool("compare", false, "run every policy and normalize to FedAvg-Random")
+		list         = flag.Bool("list", false, "list available policies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range autofl.Policies() {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	scenario := autofl.Scenario{
+		Workload:  autofl.Workload(*workloadName),
+		Setting:   autofl.Setting(*setting),
+		Data:      autofl.DataScenario(*dataScenario),
+		Env:       autofl.Environment(*env),
+		Seed:      *seed,
+		MaxRounds: *rounds,
+	}
+
+	if *compare {
+		if err := runComparison(scenario); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	report, err := scenario.Run(autofl.Policy(*policyName))
+	if err != nil {
+		fatal(err)
+	}
+	printReport(report)
+}
+
+func runComparison(s autofl.Scenario) error {
+	reports, err := s.RunAll()
+	if err != nil {
+		return err
+	}
+	cmp, err := autofl.Compare(autofl.PolicyRandom, reports)
+	if err != nil {
+		return err
+	}
+	header := []string{"policy", "global-ppw", "local-ppw", "conv-time", "accuracy", "converged"}
+	var rows [][]string
+	for _, r := range cmp.Rows {
+		conv := "no"
+		if r.Converged {
+			conv = "yes"
+		}
+		rows = append(rows, []string{
+			string(r.Policy),
+			metrics.FormatX(r.GlobalPPWx),
+			metrics.FormatX(r.LocalPPWx),
+			metrics.FormatX(r.ConvTimex),
+			fmt.Sprintf("%.3f", r.FinalAccuracy),
+			conv,
+		})
+	}
+	fmt.Printf("scenario: workload=%s setting=%s data=%s env=%s seed=%d\n",
+		s.Workload, s.Setting, s.Data, s.Env, s.Seed)
+	fmt.Print(metrics.Table(header, rows))
+	return nil
+}
+
+func printReport(r *autofl.Report) {
+	fmt.Printf("policy:            %s\n", r.Policy)
+	if r.Converged {
+		fmt.Printf("converged:         yes, round %d\n", r.Rounds)
+	} else {
+		fmt.Printf("converged:         no (%d rounds)\n", r.Rounds)
+	}
+	fmt.Printf("final accuracy:    %.3f\n", r.FinalAccuracy)
+	fmt.Printf("time to target:    %.0f s\n", r.TimeToTargetSec)
+	fmt.Printf("fleet energy:      %.0f J\n", r.EnergyToTargetJ)
+	fmt.Printf("global PPW:        %.3g progress/J\n", r.GlobalPPW)
+	fmt.Printf("local PPW:         %.3g progress/J\n", r.LocalPPW)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autoflsim:", err)
+	os.Exit(1)
+}

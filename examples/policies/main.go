@@ -1,0 +1,48 @@
+// Policies: run every selection policy the paper evaluates (§5.1 and
+// §6.3) on the same scenario and print the normalized comparison —
+// the Fig 8 experiment at example scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autofl"
+)
+
+func main() {
+	scenario := autofl.Scenario{
+		Workload: autofl.CNNMNIST,
+		Setting:  autofl.S3,
+		Data:     autofl.IdealIID,
+		Env:      autofl.EnvField,
+		Seed:     21,
+	}
+
+	reports, err := scenario.RunAll() // all eight policies
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := autofl.Compare(autofl.PolicyRandom, reports)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("policy           global-PPW  conv-time  converged")
+	for _, row := range cmp.Rows {
+		conv := "no"
+		if row.Converged {
+			conv = "yes"
+		}
+		fmt.Printf("%-16s %9.2fx %9.2fx  %s\n",
+			row.Policy, row.GlobalPPWx, capped(row.ConvTimex), conv)
+	}
+}
+
+// capped keeps non-converging baselines printable.
+func capped(v float64) float64 {
+	if v > 99 {
+		return 99
+	}
+	return v
+}

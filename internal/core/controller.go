@@ -1,0 +1,424 @@
+package core
+
+import (
+	"autofl/internal/device"
+	"autofl/internal/qlearn"
+	"autofl/internal/rng"
+	"autofl/internal/sim"
+)
+
+// DVFS levels exposed as second-level actions. The paper augments the
+// execution-target action with the device's V/F steps; three coarse
+// levels per target keep the Q-tables compact while spanning the
+// energy-relevant range of the ladder (the energy-optimal operating
+// point sits in the interior — see internal/device tests).
+var dvfsLevels = []float64{0.45, 0.70, 1.00}
+
+// Actions enumerates the 2 targets × 3 DVFS levels.
+func Actions() []qlearn.Action {
+	var out []qlearn.Action
+	for _, t := range []device.Target{device.CPU, device.GPU} {
+		for lvl := range dvfsLevels {
+			out = append(out, qlearn.FormatAction(t.String(), lvl))
+		}
+	}
+	return out
+}
+
+// DecodeAction maps an action key back to a concrete (target, step)
+// for a given device spec.
+func DecodeAction(a qlearn.Action, spec *device.Spec) (device.Target, int) {
+	target := device.CPU
+	s := string(a)
+	lvl := 2
+	if len(s) > 0 {
+		if s[0] == 'G' {
+			target = device.GPU
+		}
+		lvl = int(s[len(s)-1] - '0')
+		if lvl < 0 || lvl >= len(dvfsLevels) {
+			lvl = len(dvfsLevels) - 1
+		}
+	}
+	proc := spec.Proc(target)
+	step := int(dvfsLevels[lvl]*float64(proc.TopStep()) + 0.5)
+	return target, step
+}
+
+// Options configures the AutoFL controller.
+type Options struct {
+	// Epsilon is the exploration probability (paper default 0.1).
+	Epsilon float64
+	// LearningRate is γ of Algorithm 1 (paper default 0.9).
+	LearningRate float64
+	// Discount is µ of Algorithm 1 (paper default 0.1).
+	Discount float64
+	// Alpha and Beta weight the accuracy and accuracy-improvement
+	// reward terms of Eq (7).
+	Alpha, Beta float64
+	// SharedTables keys Q-tables by device performance category
+	// instead of device identity (§4 "Scalability", Fig 15): faster
+	// reward convergence at a small prediction-accuracy cost.
+	SharedTables bool
+	// Buckets discretize the continuous state features; zero value
+	// selects Table 1 defaults.
+	Buckets *Buckets
+	// Seed drives exploration and tie-breaking.
+	Seed uint64
+}
+
+// DefaultOptions returns the paper's hyperparameters.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Epsilon:      qlearn.DefaultEpsilon,
+		LearningRate: qlearn.DefaultLearningRate,
+		Discount:     qlearn.DefaultDiscount,
+		Alpha:        0.05,
+		Beta:         2.0,
+		Seed:         seed,
+	}
+}
+
+// pendingDecision carries one round's (S, A) pairs until the next
+// round's observation provides (S', A') for the Algorithm 1 update.
+type pendingDecision struct {
+	keys    map[int]qlearn.State  // per selected device
+	actions map[int]qlearn.Action // per selected device
+	reward  map[int]float64       // per selected device, from Feedback
+	ready   bool                  // reward computed
+}
+
+// Controller is the AutoFL policy. It implements sim.FeedbackPolicy.
+type Controller struct {
+	opts    Options
+	buckets Buckets
+	agents  map[int]*qlearn.Agent // keyed by device ID or category
+	explore *rng.Stream
+
+	pending *pendingDecision
+
+	// tiePriority breaks Q-value ties between devices. It is random —
+	// avoiding the biased selection §4.2 warns about — but drawn once
+	// per controller, so equally-valued devices keep a consistent
+	// order: the learned cohort stays stable round over round, which
+	// is what lets FedAvg converge on its union data distribution
+	// under heavy non-IID populations.
+	tiePriority map[int]float64
+
+	// Reference energies anchor the Eq (7) energy terms to a unitless
+	// scale; initialized from the first observed round.
+	refGlobalEnergy float64
+	refLocalEnergy  float64
+
+	// deviceValue is an exponential moving average of each device's
+	// rewards, used as the initialization prior for its Q-table rows:
+	// device-constant traits (data quality, hardware efficiency)
+	// generalize across the runtime-variance states, instead of a
+	// punished device looking neutral again the moment its co-runner
+	// bucket flips. Keyed like agents (device ID or category).
+	deviceValue map[int]float64
+
+	// stallStreak counts consecutive rounds without accuracy
+	// improvement. Eq (7)'s hard stalled branch applies only once the
+	// streak passes stallPatience: a single noisy round must not
+	// collapse the learned ranking (which would churn the cohort and
+	// prevent the stable selection FedAvg needs under non-IID data),
+	// while a genuine plateau still triggers the shake-up the branch
+	// exists for.
+	stallStreak int
+
+	rewardTrace []float64
+
+	// Decision bookkeeping for prediction-accuracy analysis (Fig 12).
+	lastExplored bool
+}
+
+// New builds an AutoFL controller.
+func New(opts Options) *Controller {
+	if opts.Epsilon == 0 && opts.LearningRate == 0 && opts.Discount == 0 {
+		opts = DefaultOptions(opts.Seed)
+	}
+	b := DefaultBuckets()
+	if opts.Buckets != nil {
+		b = *opts.Buckets
+	}
+	return &Controller{
+		opts:        opts,
+		buckets:     b,
+		agents:      make(map[int]*qlearn.Agent),
+		explore:     rng.New(opts.Seed ^ 0xa07f1),
+		tiePriority: make(map[int]float64),
+		deviceValue: make(map[int]float64),
+	}
+}
+
+// Name implements sim.Policy.
+func (c *Controller) Name() string { return "AutoFL" }
+
+// RewardTrace returns the mean per-round reward history (Fig 15).
+func (c *Controller) RewardTrace() []float64 { return c.rewardTrace }
+
+// Explored reports whether the most recent Select was an exploration
+// round.
+func (c *Controller) Explored() bool { return c.lastExplored }
+
+// MemoryBytes estimates the controller's Q-table footprint (§6.4).
+func (c *Controller) MemoryBytes() int {
+	total := 0
+	for _, a := range c.agents {
+		total += a.Table.MemoryBytes()
+	}
+	return total
+}
+
+// agentFor returns the Q-learning agent for a device, creating it on
+// first use. With SharedTables, devices of the same performance
+// category share one agent.
+func (c *Controller) agentFor(ds *sim.DeviceState) *qlearn.Agent {
+	key := c.agentKey(ds)
+	if _, ok := c.deviceValue[key]; !ok {
+		// Informed prior: the FL protocol reports each device's
+		// data-class count to the server (paper footnote 3), and class
+		// coverage is the single strongest predictor of a device's
+		// usefulness under data heterogeneity (§3.3). Seeding the
+		// value prior with it gives the ranking a sensible starting
+		// order that reward feedback then corrects for energy,
+		// interference and network behaviour. The scale matches a
+		// typical improving-round reward.
+		c.deviceValue[key] = 0.5 * ds.Data.ClassFraction
+	}
+	a, ok := c.agents[key]
+	if !ok {
+		a = qlearn.NewAgent(Actions(), c.explore)
+		a.Epsilon = c.opts.Epsilon
+		a.LearningRate = c.opts.LearningRate
+		a.Discount = c.opts.Discount
+		a.Table.Init = func() float64 { return c.deviceValue[key] }
+		c.agents[key] = a
+	}
+	return a
+}
+
+func (c *Controller) agentKey(ds *sim.DeviceState) int {
+	if c.opts.SharedTables {
+		return -1 - int(ds.Device.Category())
+	}
+	return ds.Device.ID
+}
+
+// Select implements Algorithm 1's decision step: with probability ε
+// pick K random participants and random actions; otherwise sort
+// devices by Q(S_global, S_local, A) and take the top K with their
+// argmax actions. It also completes the previous round's value update,
+// for which this round's states provide (S', A').
+func (c *Controller) Select(ctx *sim.RoundContext) []sim.Selection {
+	global := GlobalStateKey(ctx.Workload, ctx.Params)
+
+	keys := make(map[int]qlearn.State, len(ctx.Devices))
+	for i := range ctx.Devices {
+		keys[i] = StateKey(global, c.buckets.LocalStateKey(&ctx.Devices[i]))
+	}
+
+	c.completePendingUpdate(ctx, keys)
+
+	decision := &pendingDecision{
+		keys:    make(map[int]qlearn.State),
+		actions: make(map[int]qlearn.Action),
+	}
+	var selections []sim.Selection
+
+	c.lastExplored = c.explore.Bool(c.opts.Epsilon)
+	if c.lastExplored {
+		// Exploration: uniform random participants and actions.
+		for _, i := range c.explore.Sample(len(ctx.Devices), ctx.Params.K) {
+			agent := c.agentFor(&ctx.Devices[i])
+			action := agent.RandomAction()
+			target, step := DecodeAction(action, ctx.Devices[i].Device.Spec)
+			selections = append(selections, sim.Selection{Index: i, Target: target, Step: step})
+			decision.keys[i] = keys[i]
+			decision.actions[i] = action
+		}
+		c.pending = decision
+		return selections
+	}
+
+	// Exploitation: rank all devices by their best Q-value.
+	rankedDevices := make([]ranked, len(ctx.Devices))
+	for i := range ctx.Devices {
+		agent := c.agentFor(&ctx.Devices[i])
+		action, value := agent.Table.Best(keys[i])
+		rankedDevices[i] = ranked{idx: i, value: value, tie: c.tieFor(i), action: action}
+	}
+	sortRanked(rankedDevices)
+
+	for _, r := range rankedDevices[:min(ctx.Params.K, len(rankedDevices))] {
+		target, step := DecodeAction(r.action, ctx.Devices[r.idx].Device.Spec)
+		selections = append(selections, sim.Selection{Index: r.idx, Target: target, Step: step})
+		decision.keys[r.idx] = keys[r.idx]
+		decision.actions[r.idx] = r.action
+	}
+	c.pending = decision
+	return selections
+}
+
+// ranked is one device's standing in the exploitation ranking.
+type ranked struct {
+	idx    int
+	value  float64
+	tie    float64
+	action qlearn.Action
+}
+
+// tieFor returns the device's stable random tie-break priority,
+// drawing it on first use.
+func (c *Controller) tieFor(idx int) float64 {
+	p, ok := c.tiePriority[idx]
+	if !ok {
+		p = c.explore.Float64()
+		c.tiePriority[idx] = p
+	}
+	return p
+}
+
+// sortRanked sorts descending by (value, tie) with an insertion sort:
+// fast for the ~200-device fleets this runs on.
+func sortRanked(r []ranked) {
+	less := func(a, b ranked) bool {
+		if a.value != b.value {
+			return a.value > b.value
+		}
+		return a.tie > b.tie
+	}
+	for i := 1; i < len(r); i++ {
+		for j := i; j > 0 && less(r[j], r[j-1]); j-- {
+			r[j], r[j-1] = r[j-1], r[j]
+		}
+	}
+}
+
+// Feedback implements the measurement step: compute the Eq (5)–(7)
+// reward for every participant and stage it; the Q update completes at
+// the next Select when (S', A') is known.
+func (c *Controller) Feedback(ctx *sim.RoundContext, res *sim.RoundResult) {
+	if c.pending == nil {
+		return
+	}
+	if c.refGlobalEnergy == 0 {
+		// Anchor the energy scale to the first observed round.
+		c.refGlobalEnergy = res.EnergyTotalJ
+		n := 0
+		for _, dr := range res.Devices {
+			if dr.Selected {
+				n++
+			}
+		}
+		if n > 0 {
+			c.refLocalEnergy = res.EnergyParticipantsJ / float64(n)
+		}
+		if c.refGlobalEnergy == 0 {
+			c.refGlobalEnergy = 1
+		}
+		if c.refLocalEnergy == 0 {
+			c.refLocalEnergy = 1
+		}
+	}
+
+	accuracy := res.Accuracy * 100
+	deltaAcc := (res.Accuracy - res.PrevAccuracy) * 100
+	globalTerm := res.EnergyTotalJ / c.refGlobalEnergy
+
+	if deltaAcc <= 0 {
+		c.stallStreak++
+	} else {
+		c.stallStreak = 0
+	}
+	// stallPatience is the hysteresis on Eq (7)'s stalled branch: see
+	// the stallStreak field comment.
+	const stallPatience = 3
+	plateaued := c.stallStreak >= stallPatience
+
+	c.pending.reward = make(map[int]float64, len(c.pending.keys))
+	sum, n := 0.0, 0
+	for idx := range c.pending.keys {
+		var r float64
+		switch {
+		case res.Devices[idx].UpdateFraction == 0:
+			// The device missed the straggler deadline: its action
+			// contributed nothing to accuracy, so it takes the Eq (7)
+			// stalled branch individually.
+			r = accuracy - 100
+		case deltaAcc <= 0 && plateaued:
+			// Eq (7), stalled branch: distance from perfect accuracy,
+			// strongly discouraging the actions that produced a
+			// sustained plateau. The punishment is skewed by class
+			// coverage — concentrated-data devices are the likeliest
+			// cause of the drift plateau — so repeated sweeps leave
+			// the Q-ranking ordered by coverage and the next cohort
+			// is the one that can escape it.
+			skew := 1 + 0.5*(1-ctx.Devices[idx].Data.ClassFraction)
+			r = (accuracy - 100) * skew
+		default:
+			local := res.Devices[idx].EnergyJ / c.refLocalEnergy
+			// The improvement credit is attributed per device, scaled
+			// by its reported class coverage: the FL protocol already
+			// ships each device's data-class count to the server
+			// (paper footnote 3), and a device holding most classes
+			// contributed more to an unbiased aggregate than a
+			// single-class one. This is what lets the Q-tables
+			// separate high- from low-coverage devices instead of
+			// waiting for the (weak) round-composition covariance.
+			credit := 0.25 + 0.75*ctx.Devices[idx].Data.ClassFraction
+			r = -globalTerm - local + c.opts.Alpha*accuracy + c.opts.Beta*deltaAcc*credit
+		}
+		c.pending.reward[idx] = r
+		sum += r
+		n++
+	}
+	c.pending.ready = true
+	if n > 0 {
+		c.rewardTrace = append(c.rewardTrace, sum/float64(n))
+	}
+
+	// Center the stored rewards on the round mean (an advantage
+	// baseline): the terms shared by every participant — global
+	// energy, absolute accuracy, the improvement level — cancel, so
+	// the Q-ranking is driven purely by per-device differentiation
+	// (energy draw, drop penalties, class-coverage credit). Without
+	// the baseline, merely having participated in a good round lifts a
+	// device above everyone idle, and selection degenerates into
+	// incumbency.
+	if n > 0 {
+		mean := sum / float64(n)
+		const valueEMA = 0.05
+		for idx := range c.pending.reward {
+			c.pending.reward[idx] -= mean
+			key := c.agentKey(&ctx.Devices[idx])
+			// The prior EMA moves slowly: single noisy rounds must
+			// not reshuffle the device ranking.
+			c.deviceValue[key] = (1-valueEMA)*c.deviceValue[key] + valueEMA*c.pending.reward[idx]
+		}
+	}
+}
+
+// completePendingUpdate applies the Algorithm 1 update for the
+// previous round using this round's states as S' and the greedy
+// actions as A'.
+func (c *Controller) completePendingUpdate(ctx *sim.RoundContext, keys map[int]qlearn.State) {
+	p := c.pending
+	if p == nil || !p.ready {
+		return
+	}
+	for idx, s := range p.keys {
+		agent := c.agentFor(&ctx.Devices[idx])
+		sNext := keys[idx]
+		aNext, _ := agent.Table.Best(sNext)
+		agent.Learn(s, p.actions[idx], p.reward[idx], sNext, aNext)
+	}
+	c.pending = nil
+}
+
+// Compile-time interface checks.
+var (
+	_ sim.Policy         = (*Controller)(nil)
+	_ sim.FeedbackPolicy = (*Controller)(nil)
+)

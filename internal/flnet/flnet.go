@@ -1,0 +1,360 @@
+// Package flnet implements the edge-cloud FL wire protocol of Fig 2
+// over TCP with gob encoding: an aggregation server (model owner) and
+// device clients (data owners) exchanging global parameters and
+// gradient updates. Combined with internal/fedavg it runs *genuine*
+// federated training across real sockets — the system-shaped
+// counterpart to the analytic simulator.
+//
+// Protocol, per aggregation round:
+//
+//	client → server  hello{deviceID}                   (once, on connect)
+//	server → client  assign{round, params, E, B, lr}   (steps 1–2)
+//	client           local training                    (step 3)
+//	client → server  update{round, params, samples}    (step 4)
+//	server           weighted averaging                (step 5)
+//	server → client  done{params}                      (after last round)
+package flnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// message is the single wire envelope; Kind discriminates. A flat
+// struct keeps gob simple (no interface registration) and the payload
+// is dominated by Params anyway.
+type message struct {
+	Kind     string // "hello", "assign", "update", "done"
+	Round    int
+	DeviceID int
+	Params   []float64
+	Epochs   int
+	Batch    int
+	LR       float64
+	Samples  int
+}
+
+const (
+	kindHello  = "hello"
+	kindAssign = "assign"
+	kindUpdate = "update"
+	kindDone   = "done"
+)
+
+// ServerConfig drives an aggregation server.
+type ServerConfig struct {
+	// Addr to listen on; ":0" picks a free port (see Server.Addr).
+	Addr string
+	// Clients is the number of devices that must register before
+	// training starts (N).
+	Clients int
+	// Rounds to run.
+	Rounds int
+	// K participants per round.
+	K int
+	// Epochs, Batch, LR are the local-training parameters broadcast
+	// with every assignment.
+	Epochs, Batch int
+	LR            float64
+	// InitialParams seeds the global model.
+	InitialParams []float64
+	// Select picks the participant device IDs for a round from the
+	// registered IDs. Nil selects the first K.
+	Select func(round int, deviceIDs []int) []int
+	// Evaluate, if non-nil, is called with the aggregated parameters
+	// after every round; its return value is recorded in the history.
+	Evaluate func(params []float64) float64
+	// RoundTimeout bounds how long the server waits for updates
+	// (defaults to 30s).
+	RoundTimeout time.Duration
+}
+
+// RoundRecord is the server-side outcome of one round.
+type RoundRecord struct {
+	Round    int
+	Updates  int
+	Accuracy float64
+}
+
+// Server is the FL aggregation server.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	mu      sync.Mutex
+	clients map[int]*clientConn
+	history []RoundRecord
+	params  []float64
+}
+
+type clientConn struct {
+	id   int
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewServer starts listening. Call Serve to run the training.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clients <= 0 || cfg.K <= 0 || cfg.K > cfg.Clients {
+		return nil, fmt.Errorf("flnet: need 0 < K <= Clients, got K=%d Clients=%d", cfg.K, cfg.Clients)
+	}
+	if len(cfg.InitialParams) == 0 {
+		return nil, fmt.Errorf("flnet: missing initial parameters")
+	}
+	if cfg.RoundTimeout == 0 {
+		cfg.RoundTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: listen: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		listener: ln,
+		clients:  make(map[int]*clientConn),
+		params:   append([]float64(nil), cfg.InitialParams...),
+	}, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// History returns the per-round records after Serve completes.
+func (s *Server) History() []RoundRecord { return s.history }
+
+// Params returns the current global parameters.
+func (s *Server) Params() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.params...)
+}
+
+// Serve accepts the configured number of clients, runs all rounds, and
+// shuts the cluster down. It blocks until training completes.
+func (s *Server) Serve() error {
+	defer s.listener.Close()
+
+	// Registration phase: accept until all devices check in.
+	for len(s.clients) < s.cfg.Clients {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return fmt.Errorf("flnet: accept: %w", err)
+		}
+		cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		var hello message
+		if err := cc.dec.Decode(&hello); err != nil || hello.Kind != kindHello {
+			conn.Close()
+			return fmt.Errorf("flnet: bad hello: %v", err)
+		}
+		cc.id = hello.DeviceID
+		if _, dup := s.clients[cc.id]; dup {
+			conn.Close()
+			return fmt.Errorf("flnet: duplicate device id %d", cc.id)
+		}
+		s.clients[cc.id] = cc
+	}
+
+	ids := make([]int, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		selected := s.selectFor(round, ids)
+		// Step 2: broadcast the global model to the selected devices.
+		for _, id := range selected {
+			cc := s.clients[id]
+			err := cc.enc.Encode(message{
+				Kind:   kindAssign,
+				Round:  round,
+				Params: s.params,
+				Epochs: s.cfg.Epochs,
+				Batch:  s.cfg.Batch,
+				LR:     s.cfg.LR,
+			})
+			if err != nil {
+				return fmt.Errorf("flnet: assign to %d: %w", id, err)
+			}
+		}
+		// Step 4: collect the updates.
+		type result struct {
+			msg message
+			err error
+		}
+		results := make(chan result, len(selected))
+		for _, id := range selected {
+			cc := s.clients[id]
+			go func(cc *clientConn) {
+				cc.conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout))
+				var m message
+				err := cc.dec.Decode(&m)
+				results <- result{m, err}
+			}(cc)
+		}
+		var vectors [][]float64
+		var weights []float64
+		received := 0
+		for range selected {
+			r := <-results
+			if r.err != nil {
+				continue // straggler or failure: FedAvg drops it
+			}
+			if r.msg.Kind != kindUpdate || r.msg.Round != round {
+				continue
+			}
+			vectors = append(vectors, r.msg.Params)
+			weights = append(weights, float64(r.msg.Samples))
+			received++
+		}
+		// Step 5: aggregate.
+		if len(vectors) > 0 {
+			avg, err := averageParams(vectors, weights)
+			if err != nil {
+				return fmt.Errorf("flnet: aggregate round %d: %w", round, err)
+			}
+			s.mu.Lock()
+			s.params = avg
+			s.mu.Unlock()
+		}
+		rec := RoundRecord{Round: round, Updates: received}
+		if s.cfg.Evaluate != nil {
+			rec.Accuracy = s.cfg.Evaluate(s.Params())
+		}
+		s.history = append(s.history, rec)
+	}
+
+	// Shut the cluster down with the final model.
+	for _, cc := range s.clients {
+		cc.enc.Encode(message{Kind: kindDone, Params: s.params})
+		cc.conn.Close()
+	}
+	return nil
+}
+
+func (s *Server) selectFor(round int, ids []int) []int {
+	if s.cfg.Select != nil {
+		sel := s.cfg.Select(round, ids)
+		// Sanitize: valid, registered, at most K.
+		valid := make([]int, 0, len(sel))
+		for _, id := range sel {
+			if _, ok := s.clients[id]; ok && len(valid) < s.cfg.K {
+				valid = append(valid, id)
+			}
+		}
+		if len(valid) > 0 {
+			return valid
+		}
+	}
+	if s.cfg.K >= len(ids) {
+		return ids
+	}
+	// Deterministic rotation keeps every device in use without an RNG
+	// dependency.
+	start := (round * s.cfg.K) % len(ids)
+	out := make([]int, 0, s.cfg.K)
+	for i := 0; i < s.cfg.K; i++ {
+		out = append(out, ids[(start+i)%len(ids)])
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// averageParams mirrors nn.AverageParams without importing the trainer
+// (the server is model-agnostic: it averages opaque vectors).
+func averageParams(vectors [][]float64, weights []float64) ([]float64, error) {
+	n := len(vectors[0])
+	total := 0.0
+	for i, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("update %d has %d params, want %d", i, len(v), n)
+		}
+		total += weights[i]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("no update weight")
+	}
+	out := make([]float64, n)
+	for i, v := range vectors {
+		w := weights[i] / total
+		for j, x := range v {
+			out[j] += w * x
+		}
+	}
+	return out, nil
+}
+
+// TrainFunc is the client-side local training step: given the global
+// parameters and the round's (E, B, lr), return the locally-updated
+// parameters and the local sample count.
+type TrainFunc func(params []float64, epochs, batch int, lr float64) ([]float64, int, error)
+
+// Client is one FL device endpoint.
+type Client struct {
+	// DeviceID identifies the device to the server.
+	DeviceID int
+	// Train runs the local training step (Fig 2, step 3).
+	Train TrainFunc
+
+	// FinalParams holds the global model delivered at shutdown.
+	FinalParams []float64
+	// RoundsParticipated counts assignments served.
+	RoundsParticipated int
+}
+
+// Run connects to the server and serves training assignments until the
+// server shuts the cluster down.
+func (c *Client) Run(addr string) error {
+	if c.Train == nil {
+		return fmt.Errorf("flnet: client %d has no Train function", c.DeviceID)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("flnet: dial: %w", err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(message{Kind: kindHello, DeviceID: c.DeviceID}); err != nil {
+		return fmt.Errorf("flnet: hello: %w", err)
+	}
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			return fmt.Errorf("flnet: client %d receive: %w", c.DeviceID, err)
+		}
+		switch m.Kind {
+		case kindAssign:
+			c.RoundsParticipated++
+			updated, samples, err := c.Train(m.Params, m.Epochs, m.Batch, m.LR)
+			if err != nil {
+				return fmt.Errorf("flnet: client %d train: %w", c.DeviceID, err)
+			}
+			err = enc.Encode(message{
+				Kind:     kindUpdate,
+				Round:    m.Round,
+				DeviceID: c.DeviceID,
+				Params:   updated,
+				Samples:  samples,
+			})
+			if err != nil {
+				return fmt.Errorf("flnet: client %d update: %w", c.DeviceID, err)
+			}
+		case kindDone:
+			c.FinalParams = m.Params
+			return nil
+		default:
+			return fmt.Errorf("flnet: client %d: unexpected message %q", c.DeviceID, m.Kind)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package flnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"autofl/internal/fedavg"
+	"autofl/internal/nn"
+	"autofl/internal/rng"
+)
+
+// startCluster runs a server plus its clients backed by a real FedAvg
+// trainer, returning the server after Serve completes.
+func startCluster(t *testing.T, cfgMut func(*ServerConfig)) (*Server, *fedavg.Trainer) {
+	t.Helper()
+	fcfg := fedavg.DefaultConfig()
+	fcfg.Devices = 12
+	fcfg.K = 4
+	tr, err := fedavg.NewTrainer(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := tr.Model()
+	scfg := ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Clients:       fcfg.Devices,
+		Rounds:        15,
+		K:             fcfg.K,
+		Epochs:        fcfg.Epochs,
+		Batch:         fcfg.Batch,
+		LR:            fcfg.LR,
+		InitialParams: tr.GlobalParams(),
+		Evaluate: func(params []float64) float64 {
+			if err := tr.SetGlobalParams(params); err != nil {
+				return 0
+			}
+			return tr.Accuracy()
+		},
+		RoundTimeout: 20 * time.Second,
+	}
+	if cfgMut != nil {
+		cfgMut(&scfg)
+	}
+	srv, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < fcfg.Devices; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			model := eval.Clone()
+			local := rng.New(uint64(100 + id))
+			client := &Client{
+				DeviceID: id,
+				Train: func(params []float64, epochs, batch int, lr float64) ([]float64, int, error) {
+					ds := tr.ClientDataset(id)
+					updated, err := fedavg.LocalTrain(model, params, ds, epochs, batch, lr, local)
+					if err != nil {
+						return nil, 0, err
+					}
+					return updated, ds.Len(), nil
+				},
+			}
+			if err := client.Run(srv.Addr()); err != nil {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}(id)
+	}
+	if err := srv.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return srv, tr
+}
+
+func TestClusterTrainsOverTCP(t *testing.T) {
+	srv, _ := startCluster(t, nil)
+	hist := srv.History()
+	if len(hist) != 15 {
+		t.Fatalf("history has %d rounds, want 15", len(hist))
+	}
+	for _, rec := range hist {
+		if rec.Updates != 4 {
+			t.Errorf("round %d received %d updates, want 4", rec.Round, rec.Updates)
+		}
+	}
+	first, last := hist[0].Accuracy, hist[len(hist)-1].Accuracy
+	if last <= first {
+		t.Errorf("accuracy did not improve over TCP training: %.3f -> %.3f", first, last)
+	}
+	if last < 0.6 {
+		t.Errorf("final accuracy %.3f too low for 15 real rounds", last)
+	}
+}
+
+func TestCustomSelector(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	srv, _ := startCluster(t, func(cfg *ServerConfig) {
+		cfg.Rounds = 5
+		cfg.Select = func(round int, ids []int) []int {
+			mu.Lock()
+			defer mu.Unlock()
+			// Always pick the first K ids.
+			for _, id := range ids[:4] {
+				seen[id]++
+			}
+			return ids[:4]
+		}
+	})
+	if len(srv.History()) != 5 {
+		t.Fatal("custom-selector run incomplete")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 4 {
+		t.Errorf("selector picked %d distinct devices, want 4", len(seen))
+	}
+}
+
+func TestRotationCoversAllDevices(t *testing.T) {
+	s := &Server{cfg: ServerConfig{K: 3}, clients: map[int]*clientConn{}}
+	ids := []int{0, 1, 2, 3, 4, 5, 6}
+	seen := map[int]bool{}
+	for round := 0; round < 7; round++ {
+		for _, id := range s.selectFor(round, ids) {
+			seen[id] = true
+		}
+	}
+	if len(seen) != len(ids) {
+		t.Errorf("rotation covered %d/%d devices", len(seen), len(ids))
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Clients: 0, K: 1, InitialParams: []float64{1}}); err == nil {
+		t.Error("zero clients should fail")
+	}
+	if _, err := NewServer(ServerConfig{Clients: 2, K: 3, InitialParams: []float64{1}}); err == nil {
+		t.Error("K > Clients should fail")
+	}
+	if _, err := NewServer(ServerConfig{Clients: 2, K: 1}); err == nil {
+		t.Error("missing initial params should fail")
+	}
+}
+
+func TestClientRequiresTrainFunc(t *testing.T) {
+	c := &Client{DeviceID: 1}
+	if err := c.Run("127.0.0.1:1"); err == nil {
+		t.Error("client without Train must error")
+	}
+}
+
+func TestAverageParamsWeighted(t *testing.T) {
+	avg, err := averageParams([][]float64{{0, 0}, {4, 8}}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] != 3 || avg[1] != 6 {
+		t.Errorf("weighted average = %v", avg)
+	}
+	if _, err := averageParams([][]float64{{1}, {1, 2}}, []float64{1, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := averageParams([][]float64{{1}}, []float64{0}); err == nil {
+		t.Error("zero weight should error")
+	}
+}
+
+func TestClientCountsParticipation(t *testing.T) {
+	_, tr := startCluster(t, func(cfg *ServerConfig) { cfg.Rounds = 3 })
+	_ = tr
+	// Participation is verified indirectly through the history checks;
+	// this test pins the Serve/Run handshake lifecycle (no hangs, no
+	// leaked goroutines by the time startCluster returns).
+}
+
+func TestNNParamsInteropWithWire(t *testing.T) {
+	// The wire format is the flat vector nn produces; verify a
+	// round-trip through averaging preserves model validity.
+	s := rng.New(5)
+	m := nn.NewMLP(s, 4, 8, 3)
+	p := m.Params()
+	avg, err := averageParams([][]float64{p, p}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetParams(avg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package nn is a small, pure-Go neural-network trainer: dense layers,
+// ReLU, softmax cross-entropy, and minibatch SGD, with flat parameter
+// (de)serialization so federated averaging (internal/fedavg) can move
+// models and gradients as plain []float64 — exactly what FedAvg's wire
+// protocol needs.
+//
+// It is the "real training" substrate of this reproduction: the
+// analytic convergence model in internal/sim is cross-validated
+// against genuine federated SGD running on this package.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"autofl/internal/rng"
+	"autofl/internal/tensor"
+)
+
+// Dense is a fully-connected layer with bias.
+type Dense struct {
+	W *tensor.Matrix // in × out
+	B []float64      // out
+
+	lastX *tensor.Matrix // cached input for the backward pass
+	gradW *tensor.Matrix
+	gradB []float64
+}
+
+// NewDense builds a layer with He-initialized weights.
+func NewDense(in, out int, s *rng.Stream) *Dense {
+	d := &Dense{W: tensor.New(in, out), B: make([]float64, out)}
+	scale := math.Sqrt(2 / float64(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = s.Normal(0, scale)
+	}
+	return d
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	d.lastX = x
+	out := tensor.MatMul(x, d.W)
+	out.AddRow(d.B)
+	return out
+}
+
+// Backward consumes dY and returns dX, accumulating weight gradients.
+func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	d.gradW = tensor.MatMulAT(d.lastX, dy)
+	d.gradB = dy.ColSums()
+	return tensor.MatMulBT(dy, d.W)
+}
+
+// Step applies one SGD update with the given learning rate, averaged
+// over the batch size used in the last backward pass.
+func (d *Dense) Step(lr float64, batch int) {
+	f := -lr / float64(batch)
+	d.W.AddScaled(d.gradW, f)
+	for i := range d.B {
+		d.B[i] += f * d.gradB[i]
+	}
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward zeroes negative activations.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := x.Clone()
+	r.mask = make([]bool, len(out.Data))
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the forward mask.
+func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	out := dy.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// MLP is a multi-layer perceptron classifier.
+type MLP struct {
+	layers []*Dense
+	relus  []*ReLU
+	// Classes is the output dimensionality.
+	Classes int
+}
+
+// NewMLP builds a network with the given layer sizes, e.g.
+// NewMLP(s, 20, 64, 10) is a 20→64→10 classifier with one hidden ReLU
+// layer.
+func NewMLP(s *rng.Stream, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{Classes: sizes[len(sizes)-1]}
+	for i := 0; i < len(sizes)-1; i++ {
+		m.layers = append(m.layers, NewDense(sizes[i], sizes[i+1], s))
+		if i < len(sizes)-2 {
+			m.relus = append(m.relus, &ReLU{})
+		}
+	}
+	return m
+}
+
+// Forward returns the pre-softmax logits for a batch.
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := x
+	for i, l := range m.layers {
+		out = l.Forward(out)
+		if i < len(m.relus) {
+			out = m.relus[i].Forward(out)
+		}
+	}
+	return out
+}
+
+// softmax converts logits to probabilities in place, row-wise, with
+// the usual max-subtraction for stability.
+func softmax(logits *tensor.Matrix) {
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for i, v := range row {
+			row[i] = math.Exp(v - max)
+			sum += row[i]
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+}
+
+// TrainBatch runs one forward/backward/update step on a labeled batch
+// and returns the mean cross-entropy loss.
+func (m *MLP) TrainBatch(x *tensor.Matrix, labels []int, lr float64) float64 {
+	logits := m.Forward(x)
+	softmax(logits)
+	loss := 0.0
+	// dLogits = probs - onehot(labels).
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		p := row[labels[r]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		row[labels[r]] -= 1
+	}
+	loss /= float64(logits.Rows)
+
+	grad := logits
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		if i < len(m.relus) {
+			grad = m.relus[i].Backward(grad)
+		}
+		grad = m.layers[i].Backward(grad)
+		m.layers[i].Step(lr, x.Rows)
+	}
+	return loss
+}
+
+// Predict returns the argmax class per row.
+func (m *MLP) Predict(x *tensor.Matrix) []int {
+	logits := m.Forward(x)
+	out := make([]int, logits.Rows)
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		best := 0
+		for c, v := range row {
+			if v > row[best] {
+				best = c
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// Accuracy evaluates classification accuracy on a labeled set.
+func (m *MLP) Accuracy(x *tensor.Matrix, labels []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := m.Predict(x)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// NumParams is the flat parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.layers {
+		n += len(l.W.Data) + len(l.B)
+	}
+	return n
+}
+
+// Params flattens all weights and biases into one vector, the FedAvg
+// wire format.
+func (m *MLP) Params() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, l := range m.layers {
+		out = append(out, l.W.Data...)
+		out = append(out, l.B...)
+	}
+	return out
+}
+
+// SetParams loads a flat parameter vector produced by Params.
+func (m *MLP) SetParams(p []float64) error {
+	if len(p) != m.NumParams() {
+		return fmt.Errorf("nn: parameter count %d, model needs %d", len(p), m.NumParams())
+	}
+	off := 0
+	for _, l := range m.layers {
+		copy(l.W.Data, p[off:off+len(l.W.Data)])
+		off += len(l.W.Data)
+		copy(l.B, p[off:off+len(l.B)])
+		off += len(l.B)
+	}
+	return nil
+}
+
+// Clone returns a structural copy with identical parameters.
+func (m *MLP) Clone() *MLP {
+	out := &MLP{Classes: m.Classes}
+	for _, l := range m.layers {
+		cp := &Dense{W: l.W.Clone(), B: append([]float64(nil), l.B...)}
+		out.layers = append(out.layers, cp)
+	}
+	for range m.relus {
+		out.relus = append(out.relus, &ReLU{})
+	}
+	return out
+}
+
+// AverageParams computes the weighted average of parameter vectors —
+// the FedAvg aggregation step (Fig 2, step 5). Weights are
+// renormalized internally.
+func AverageParams(vectors [][]float64, weights []float64) ([]float64, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("nn: nothing to average")
+	}
+	if len(weights) != len(vectors) {
+		return nil, fmt.Errorf("nn: %d weights for %d vectors", len(weights), len(vectors))
+	}
+	n := len(vectors[0])
+	total := 0.0
+	for i, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("nn: vector %d has length %d, want %d", i, len(v), n)
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("nn: negative weight %v", weights[i])
+		}
+		total += weights[i]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("nn: all weights zero")
+	}
+	out := make([]float64, n)
+	for i, v := range vectors {
+		w := weights[i] / total
+		for j, x := range v {
+			out[j] += w * x
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"autofl/internal/rng"
+	"autofl/internal/tensor"
+)
+
+func xorData() (*tensor.Matrix, []int) {
+	x := tensor.FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	return x, []int{0, 1, 1, 0}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	s := rng.New(1)
+	m := NewMLP(s, 2, 16, 2)
+	x, labels := xorData()
+	var loss float64
+	for i := 0; i < 3000; i++ {
+		loss = m.TrainBatch(x, labels, 0.5)
+	}
+	if loss > 0.1 {
+		t.Errorf("XOR loss after training = %v, want < 0.1", loss)
+	}
+	if acc := m.Accuracy(x, labels); acc != 1 {
+		t.Errorf("XOR accuracy = %v, want 1", acc)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	s := rng.New(2)
+	m := NewMLP(s, 2, 8, 2)
+	x, labels := xorData()
+	first := m.TrainBatch(x, labels, 0.3)
+	var last float64
+	for i := 0; i < 500; i++ {
+		last = m.TrainBatch(x, labels, 0.3)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical gradient check on a tiny network: perturb each
+	// parameter and compare the analytic gradient against the
+	// centered finite difference of the loss.
+	s := rng.New(3)
+	m := NewMLP(s, 3, 4, 2)
+	x := tensor.FromSlice(2, 3, []float64{0.5, -0.2, 0.1, -0.7, 0.3, 0.9})
+	labels := []int{0, 1}
+
+	loss := func(params []float64) float64 {
+		c := m.Clone()
+		if err := c.SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+		logits := c.Forward(x)
+		softmax(logits)
+		l := 0.0
+		for r := 0; r < logits.Rows; r++ {
+			l -= math.Log(math.Max(logits.Row(r)[labels[r]], 1e-12))
+		}
+		return l / float64(logits.Rows)
+	}
+
+	params := m.Params()
+	// Analytic gradients: replicate one backward pass without the SGD
+	// update by training a clone with tiny lr and recovering dP from
+	// the parameter delta: p' = p - lr/batch * g  =>  g = (p-p')*batch/lr.
+	clone := m.Clone()
+	const lr = 1e-6
+	clone.TrainBatch(x, labels, lr)
+	after := clone.Params()
+	batch := float64(x.Rows)
+	for i := 0; i < len(params); i += 7 { // sample every 7th parameter
+		analytic := (params[i] - after[i]) * batch / lr
+		const h = 1e-5
+		pp := append([]float64(nil), params...)
+		pp[i] += h
+		up := loss(pp)
+		pp[i] -= 2 * h
+		down := loss(pp)
+		numeric := (up - down) / (2 * h) * batch
+		if math.Abs(analytic-numeric) > 1e-2*(1+math.Abs(numeric)) {
+			t.Errorf("param %d: analytic grad %v vs numeric %v", i, analytic, numeric)
+		}
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	s := rng.New(4)
+	m := NewMLP(s, 5, 7, 3)
+	p := m.Params()
+	if len(p) != m.NumParams() {
+		t.Fatalf("Params length %d != NumParams %d", len(p), m.NumParams())
+	}
+	if want := 5*7 + 7 + 7*3 + 3; m.NumParams() != want {
+		t.Errorf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+	m2 := NewMLP(rng.New(5), 5, 7, 3)
+	if err := m2.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	p2 := m2.Params()
+	for i := range p {
+		if p[i] != p2[i] {
+			t.Fatal("SetParams/Params roundtrip mismatch")
+		}
+	}
+	if err := m2.SetParams(p[:3]); err == nil {
+		t.Error("short parameter vector should error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := rng.New(6)
+	m := NewMLP(s, 2, 4, 2)
+	c := m.Clone()
+	x, labels := xorData()
+	c.TrainBatch(x, labels, 0.5)
+	mp, cp := m.Params(), c.Params()
+	same := true
+	for i := range mp {
+		if mp[i] != cp[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("training a clone must not mutate the original")
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	logits := tensor.FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	softmax(logits)
+	for r := 0; r < 2; r++ {
+		sum := 0.0
+		for _, v := range logits.Row(r) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("softmax row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	s := rng.New(7)
+	m := NewMLP(s, 2, 8, 2)
+	x, labels := xorData()
+	for i := 0; i < 2000; i++ {
+		m.TrainBatch(x, labels, 0.5)
+	}
+	pred := m.Predict(x)
+	if len(pred) != 4 {
+		t.Fatalf("Predict returned %d values", len(pred))
+	}
+	if m.Accuracy(tensor.New(0, 2), nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestAverageParams(t *testing.T) {
+	avg, err := AverageParams([][]float64{{1, 2}, {3, 4}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] != 2 || avg[1] != 3 {
+		t.Errorf("uniform average = %v", avg)
+	}
+	weighted, err := AverageParams([][]float64{{0, 0}, {4, 4}}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted[0] != 1 {
+		t.Errorf("weighted average = %v, want 1", weighted[0])
+	}
+}
+
+func TestAverageParamsErrors(t *testing.T) {
+	if _, err := AverageParams(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := AverageParams([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("weight count mismatch should error")
+	}
+	if _, err := AverageParams([][]float64{{1}, {1, 2}}, []float64{1, 1}); err == nil {
+		t.Error("vector length mismatch should error")
+	}
+	if _, err := AverageParams([][]float64{{1}}, []float64{0}); err == nil {
+		t.Error("all-zero weights should error")
+	}
+	if _, err := AverageParams([][]float64{{1}}, []float64{-1}); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestNewMLPPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMLP with one size should panic")
+		}
+	}()
+	NewMLP(rng.New(1), 5)
+}

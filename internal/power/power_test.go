@@ -1,0 +1,120 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autofl/internal/device"
+)
+
+func TestTXWattsOrdering(t *testing.T) {
+	if !(TXWatts(SignalGood) < TXWatts(SignalFair) && TXWatts(SignalFair) < TXWatts(SignalPoor)) {
+		t.Error("TX power must increase as signal degrades")
+	}
+}
+
+func TestSignalStrings(t *testing.T) {
+	if SignalGood.String() != "good" || SignalFair.String() != "fair" || SignalPoor.String() != "poor" {
+		t.Error("Signal strings wrong")
+	}
+}
+
+func TestComputeEnergyEq1(t *testing.T) {
+	proc := &device.HighEndSpec().CPU
+	step := proc.TopStep()
+	got := ComputeEnergy(proc, step, 10, 5)
+	want := proc.PowerAt(step)*10 + proc.IdleWatts*5
+	if got != want {
+		t.Errorf("ComputeEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestComputeEnergyNegativeDurationsClamp(t *testing.T) {
+	proc := &device.LowEndSpec().GPU
+	if got := ComputeEnergy(proc, 0, -1, -1); got != 0 {
+		t.Errorf("negative durations should clamp to zero energy, got %v", got)
+	}
+}
+
+func TestCommEnergyEq3(t *testing.T) {
+	if got, want := CommEnergy(SignalPoor, 4), TXWatts(SignalPoor)*4; got != want {
+		t.Errorf("CommEnergy = %v, want %v", got, want)
+	}
+	if CommEnergy(SignalGood, -3) != 0 {
+		t.Error("negative TX time should clamp to zero")
+	}
+}
+
+func TestIdleEnergyEq4(t *testing.T) {
+	if got := IdleEnergy(0.5, 60); got != 30 {
+		t.Errorf("IdleEnergy = %v, want 30", got)
+	}
+	if IdleEnergy(0.5, -1) != 0 {
+		t.Error("negative round time should clamp to zero")
+	}
+}
+
+func TestDVFSEnergyTradeoff(t *testing.T) {
+	// Running the same compute-bound work at a lower DVFS step takes
+	// longer but can cost less energy: the cubic dynamic power drops
+	// faster than the runtime grows. Verify the ladder exposes that
+	// trade-off (this is the slack AutoFL's second-level action
+	// exploits).
+	proc := &device.HighEndSpec().CPU
+	const workGFLOP = 500.0
+	top := proc.TopStep()
+	eTop := ComputeEnergy(proc, top, workGFLOP/proc.GFLOPSAt(top), 0)
+	better := false
+	for s := 0; s < top; s++ {
+		e := ComputeEnergy(proc, s, workGFLOP/proc.GFLOPSAt(s), 0)
+		if e < eTop {
+			better = true
+			break
+		}
+	}
+	if !better {
+		t.Error("no DVFS step beats the top step in energy for fixed work")
+	}
+}
+
+func TestDeviceRoundEnergySlackIsIdle(t *testing.T) {
+	spec := device.MidEndSpec()
+	// A round twice as long as the busy time should cost more than a
+	// tight round: the extra time is idle but not free.
+	tight := DeviceRoundEnergy(spec, device.CPU, spec.CPU.TopStep(), SignalGood, 10, 2, 12)
+	slack := DeviceRoundEnergy(spec, device.CPU, spec.CPU.TopStep(), SignalGood, 10, 2, 24)
+	if slack <= tight {
+		t.Error("longer rounds must cost at least the extra idle energy")
+	}
+}
+
+func TestDeviceRoundEnergyGPUCheaperAtSameDuration(t *testing.T) {
+	// At identical durations, running on the lower-power GPU block
+	// must cost less than the CPU block at top frequency.
+	spec := device.HighEndSpec()
+	cpu := DeviceRoundEnergy(spec, device.CPU, spec.CPU.TopStep(), SignalGood, 10, 2, 12)
+	gpu := DeviceRoundEnergy(spec, device.GPU, spec.GPU.TopStep(), SignalGood, 10, 2, 12)
+	if gpu >= cpu {
+		t.Errorf("GPU round energy %v should be below CPU %v for equal durations", gpu, cpu)
+	}
+}
+
+// Property: round energy is non-negative, and monotone in each of
+// compSec / commSec / roundSec.
+func TestDeviceRoundEnergyProperty(t *testing.T) {
+	spec := device.LowEndSpec()
+	f := func(compRaw, commRaw, extraRaw uint8) bool {
+		comp := float64(compRaw) / 4
+		comm := float64(commRaw) / 8
+		round := comp + comm + float64(extraRaw)/4
+		e := DeviceRoundEnergy(spec, device.CPU, 3, SignalFair, comp, comm, round)
+		if e < 0 {
+			return false
+		}
+		e2 := DeviceRoundEnergy(spec, device.CPU, 3, SignalFair, comp, comm, round+10)
+		return e2 >= e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

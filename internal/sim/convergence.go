@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+
+	"autofl/internal/data"
+	"autofl/internal/rng"
+)
+
+// convergenceModel advances global-model accuracy round by round. It
+// is an analytic stand-in for real federated SGD, built to reproduce
+// the convergence *shapes* of the paper's figures (and cross-validated
+// against the genuine pure-Go trainer in internal/fedavg):
+//
+//   - Accuracy approaches a ceiling along a saturating exponential
+//     whose per-round rate grows (sublinearly) with the mass of
+//     gradient updates that reached the aggregator — so dropping
+//     stragglers or shrinking K slows convergence.
+//
+//   - Data heterogeneity lowers the *reachable* ceiling: FedAvg under
+//     client drift plateaus below the IID optimum. The plateau is a
+//     logistic function of the round's effective update quality,
+//     calibrated so that random selection converges for Ideal IID and
+//     Non-IID(50%) but stalls below the accuracy target for
+//     Non-IID(75%) and Non-IID(100%) — the Fig 11 outcome.
+//
+//   - Effective quality combines three ingredients: (1) the
+//     mass-weighted mean IID quality of kept updates; (2) selection
+//     stability — re-selecting a similar cohort round after round
+//     makes the effective training distribution stationary, so FedAvg
+//     converges on the cohort's union distribution instead of chasing
+//     a different biased subset every round (this is what a learned
+//     selector provides and random selection cannot); and (3) class
+//     coverage of the cohort's union. The stability bonus is how
+//     AutoFL and the oracles converge even when every device is
+//     non-IID, matching Fig 11(d).
+//
+//   - FedNova/FEDL-style update normalization (AggregationTraits.
+//     DivergenceDamping) recovers part of the per-device quality loss;
+//     partial updates contribute proportional mass.
+type convergenceModel struct {
+	floor, ceiling float64
+	baseRate       float64
+	classes        int
+	// referenceMass is the update mass of a full-K, mean-sample,
+	// on-time round; rates are relative to it.
+	referenceMass float64
+	// noiseSigma jitters per-round progress, reproducing the noisy
+	// accuracy traces of Fig 6(a).
+	noiseSigma float64
+	// emaPart tracks each device's exponentially-weighted recent
+	// participation for the selection-stability term. Rotating within
+	// a stable pool (what a learned selector does while dodging
+	// interference) keeps the effective training distribution
+	// stationary, like block-cyclic sampling; resampling the whole
+	// population does not.
+	emaPart map[int]float64
+}
+
+// Convergence-model calibration. plateauMid/plateauScale place the
+// logistic so that the round-quality values produced by the paper's
+// four data scenarios under random selection land on the right side of
+// the default accuracy target (see data_heterogeneity tests).
+const (
+	plateauMid      = 0.42
+	plateauScale    = 0.045
+	plateauBase     = 0.55
+	plateauRange    = 0.45
+	progressNoise   = 0.04 // relative jitter on per-round progress
+	regressFraction = 0.25 // how fast accuracy decays toward a lower plateau
+	massExponent    = 0.6  // diminishing returns of extra update mass
+	stabilityWeight = 0.90 // quality recovered by a stationary cohort
+	qualityRateExp  = 0.5  // drift also slows per-round progress
+	emaDecay        = 0.9  // participation memory for the stability term
+)
+
+// referenceK anchors the update-mass normalization: one "reference
+// round" is K=20 on-time devices (the Table 5 standard) training E
+// epochs on mean-sized local datasets. Smaller cohorts make less
+// progress per round.
+const referenceK = 20
+
+func newConvergenceModel(cfg *Config) *convergenceModel {
+	w := cfg.Workload
+	ref := referenceK * float64(cfg.Params.E) * float64(w.Dataset.SamplesPerDevice)
+	return &convergenceModel{
+		floor:         w.AccuracyFloor,
+		ceiling:       w.AccuracyCeiling,
+		baseRate:      w.BaseProgressRate,
+		classes:       w.Dataset.Classes,
+		referenceMass: ref,
+		noiseSigma:    progressNoise,
+		emaPart:       map[int]float64{},
+	}
+}
+
+// quality returns the effective IID quality of one device's update
+// after aggregation-level damping.
+func quality(d *data.DeviceData, traits AggregationTraits) float64 {
+	q := d.IIDQuality()
+	if traits.DivergenceDamping > 0 {
+		q += traits.DivergenceDamping * (1 - q)
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// plateau maps a round's effective update quality to the fraction of
+// the floor→ceiling gap that FedAvg can asymptotically reach.
+func plateau(roundQuality float64) float64 {
+	return plateauBase + plateauRange/(1+math.Exp(-(roundQuality-plateauMid)/plateauScale))
+}
+
+// advance computes the post-round accuracy.
+func (m *convergenceModel) advance(s *rng.Stream, ctx *RoundContext, res *RoundResult, traits AggregationTraits) float64 {
+	acc := res.PrevAccuracy
+
+	// Aggregate kept update mass, quality, coverage and stability.
+	mass, qualMass := 0.0, 0.0
+	kept := map[int]bool{}
+	classes := map[int]bool{}
+	stability := 0.0
+	for i := range res.Devices {
+		dr := &res.Devices[i]
+		if dr.UpdateFraction <= 0 {
+			continue
+		}
+		d := ctx.Devices[i].Data
+		samples := float64(d.Samples)
+		if traits.NormalizedWeights {
+			samples = float64(ctx.Workload.Dataset.SamplesPerDevice)
+		}
+		w := dr.UpdateFraction * float64(ctx.Params.E) * samples
+		mass += w
+		qualMass += w * quality(d, traits)
+		kept[i] = true
+		stability += m.emaPart[i]
+		for _, c := range d.Classes {
+			classes[c] = true
+		}
+	}
+	// Update the participation memory for every device.
+	for i := range res.Devices {
+		w := m.emaPart[i] * emaDecay
+		if kept[i] {
+			w += 1 - emaDecay
+		}
+		if w < 1e-6 {
+			delete(m.emaPart, i)
+			continue
+		}
+		m.emaPart[i] = w
+	}
+	if mass <= 0 {
+		return acc // nothing aggregated; the model is unchanged
+	}
+	meanQ := qualMass / mass
+	coverage := float64(len(classes)) / float64(m.classes)
+	// stability is the mean recent-participation weight of today's
+	// cohort: ~1 for a fixed cohort, ~K/N for population resampling,
+	// and in between for rotation within a stable pool.
+	stability /= float64(len(kept))
+	if stability > 1 {
+		stability = 1
+	}
+
+	// Stationary cohorts recover quality: the model fits the cohort's
+	// union distribution rather than oscillating between biased
+	// subsets.
+	roundQ := meanQ + (1-meanQ)*stabilityWeight*stability*coverage
+
+	// Reachable ceiling for this round's update distribution.
+	effCeiling := m.floor + plateau(roundQ)*(m.ceiling-m.floor)
+
+	// Per-round progress rate: diminishing returns in mass, slowed by
+	// client drift, jittered by SGD noise.
+	rate := m.baseRate * math.Pow(mass/m.referenceMass, massExponent)
+	rate *= math.Pow(roundQ, qualityRateExp)
+	rate *= 1 + s.Normal(0, m.noiseSigma)
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 0.5 {
+		rate = 0.5
+	}
+
+	if effCeiling > acc {
+		acc += rate * (effCeiling - acc)
+	} else {
+		// Heavily non-IID rounds pull an already-good model down
+		// toward their own plateau (the oscillation of Fig 6a).
+		acc -= regressFraction * rate * (acc - effCeiling)
+	}
+	if acc < m.floor {
+		acc = m.floor
+	}
+	if acc > m.ceiling {
+		acc = m.ceiling
+	}
+	return acc
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autofl/internal/data"
+	"autofl/internal/device"
+	"autofl/internal/rng"
+	"autofl/internal/workload"
+)
+
+// arbitraryPolicy emits randomized (sometimes invalid) selections to
+// stress the engine's sanitization and accounting.
+type arbitraryPolicy struct{ s *rng.Stream }
+
+func (p *arbitraryPolicy) Name() string { return "arbitrary" }
+func (p *arbitraryPolicy) Select(ctx *RoundContext) []Selection {
+	n := p.s.IntN(2*ctx.Params.K + 1)
+	out := make([]Selection, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Selection{
+			Index:  p.s.IntN(len(ctx.Devices)+4) - 2, // may be invalid
+			Target: device.Target(p.s.IntN(2)),
+			Step:   p.s.IntN(30) - 5, // may be out of range
+		})
+	}
+	return out
+}
+
+// Property: for any seed, environment, and arbitrary (even malformed)
+// policy output, every round satisfies the engine's accounting
+// invariants.
+func TestRoundInvariantsProperty(t *testing.T) {
+	envs := []Env{EnvIdeal(), EnvInterference(), EnvWeakNetwork(), EnvField()}
+	scenarios := data.Scenarios()
+	f := func(seedRaw uint16, envIdx, scIdx uint8) bool {
+		cfg := Config{
+			Workload:  workload.CNNMNIST(),
+			Params:    workload.GlobalParams{B: 16, E: 5, K: 10},
+			Fleet:     device.NewFleet(3, 7, 10),
+			Data:      scenarios[int(scIdx)%len(scenarios)],
+			Env:       envs[int(envIdx)%len(envs)],
+			Seed:      uint64(seedRaw),
+			MaxRounds: 5,
+		}
+		eng := New(cfg)
+		p := &arbitraryPolicy{s: rng.New(uint64(seedRaw) + 1)}
+		acc := 0.1
+		for round := 0; round < 5; round++ {
+			_, res := eng.RunRound(p, round, acc)
+			if res.Accuracy < 0 || res.Accuracy > 1 {
+				return false
+			}
+			if res.RoundSec < 0 || res.EnergyTotalJ < 0 {
+				return false
+			}
+			if res.EnergyParticipantsJ > res.EnergyTotalJ+1e-9 {
+				return false
+			}
+			selected, sum := 0, 0.0
+			for _, dr := range res.Devices {
+				if dr.EnergyJ < 0 || dr.UpdateFraction < 0 || dr.UpdateFraction > 1 {
+					return false
+				}
+				if dr.Dropped && !dr.Selected {
+					return false
+				}
+				if dr.Selected {
+					selected++
+				}
+				sum += dr.EnergyJ
+			}
+			if selected > cfg.Params.K {
+				return false
+			}
+			if diff := sum - res.EnergyTotalJ; diff > 1e-6 || diff < -1e-6 {
+				return false
+			}
+			acc = res.Accuracy
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convergence-model accuracy is invariant to device energy
+// accounting — two configs differing only in straggler factor beyond
+// any drop threshold yield identical accuracy traces.
+func TestAccuracyIndependentOfGenerousDeadlines(t *testing.T) {
+	run := func(factor float64) []float64 {
+		cfg := Config{
+			Workload:        workload.CNNMNIST(),
+			Params:          workload.GlobalParams{B: 16, E: 5, K: 10},
+			Fleet:           device.NewFleet(3, 7, 10),
+			Data:            data.IdealIID,
+			Env:             EnvIdeal(),
+			Seed:            77,
+			MaxRounds:       30,
+			StragglerFactor: factor,
+		}
+		p := &arbitraryPolicy{s: rng.New(5)}
+		return New(cfg).Run(p).AccuracyTrace
+	}
+	// Both factors are generous enough that nobody drops in the ideal
+	// environment, so the learning trajectory must match exactly.
+	a, b := run(50), run(500)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("accuracy depends on a non-binding deadline at round %d", i)
+		}
+	}
+}

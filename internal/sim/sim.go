@@ -1,0 +1,703 @@
+// Package sim is the federated-learning round engine: it orchestrates
+// the FedAvg aggregation loop of Fig 2 (select → broadcast → local
+// train → upload → aggregate) over a heterogeneous device fleet with
+// stochastic runtime variance, accounting time and energy with the
+// models of internal/device, internal/power, internal/network and
+// internal/interference, and advancing model accuracy with an analytic
+// FedAvg convergence model (convergence.go).
+//
+// Selection policies — the paper's baselines, the oracles, and the
+// AutoFL controller — plug in through the Policy interface.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"autofl/internal/data"
+	"autofl/internal/device"
+	"autofl/internal/interference"
+	"autofl/internal/network"
+	"autofl/internal/power"
+	"autofl/internal/rng"
+	"autofl/internal/workload"
+)
+
+// Env bundles the runtime-variance sources of one execution
+// environment (§3.2): on-device interference and network conditions.
+type Env struct {
+	Interference interference.Model
+	Network      network.Profile
+}
+
+// EnvIdeal is the no-variance environment of Fig 5(a)/Fig 10(a).
+func EnvIdeal() Env {
+	return Env{Interference: interference.None(), Network: network.Stable()}
+}
+
+// EnvInterference adds the web-browsing co-runner (Fig 5b / Fig 10b).
+func EnvInterference() Env {
+	return Env{Interference: interference.Default(), Network: network.Stable()}
+}
+
+// EnvWeakNetwork degrades the wireless link (Fig 5c / Fig 10c).
+func EnvWeakNetwork() Env {
+	return Env{Interference: interference.None(), Network: network.Weak()}
+}
+
+// EnvField combines both variance sources — the default deployment.
+func EnvField() Env {
+	return Env{Interference: interference.Default(), Network: network.Variable()}
+}
+
+// Config fully describes one FL run.
+type Config struct {
+	// Workload is the model being trained.
+	Workload *workload.Model
+	// Params is the (B, E, K) tuple of Table 5.
+	Params workload.GlobalParams
+	// Fleet is the candidate device population (defaults to the
+	// paper's 200-device fleet).
+	Fleet device.Fleet
+	// Data is the data-heterogeneity scenario.
+	Data data.Scenario
+	// Env is the runtime-variance environment.
+	Env Env
+	// Seed drives all stochastic draws; equal seeds reproduce runs
+	// exactly.
+	Seed uint64
+	// MaxRounds bounds the run (the paper uses 1000 as the
+	// does-not-converge horizon).
+	MaxRounds int
+	// TargetAccuracy ends the run when reached; 0 selects the
+	// workload's default target (TargetFraction of the way from floor
+	// to ceiling).
+	TargetAccuracy float64
+	// StragglerFactor sets the reporting deadline as a multiple of the
+	// median expected completion time among participants; slower
+	// devices are dropped from the aggregation (§3.2). Zero selects
+	// DefaultStragglerFactor.
+	StragglerFactor float64
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultMaxRounds       = 1000
+	DefaultStragglerFactor = 2.0
+	// TargetFraction positions the default accuracy target between the
+	// workload's floor and ceiling. It sits high enough that heavily
+	// non-IID populations under random selection plateau below it
+	// (Fig 11c/d) while learned stable cohorts clear it.
+	TargetFraction = 0.94
+)
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workload == nil {
+		out.Workload = workload.CNNMNIST()
+	}
+	if out.Params == (workload.GlobalParams{}) {
+		out.Params = workload.S3
+	}
+	if out.Fleet == nil {
+		out.Fleet = device.DefaultFleet()
+	}
+	if out.Data.Name == "" {
+		out.Data = data.IdealIID
+	}
+	if out.Env.Network.Name == "" {
+		out.Env = EnvField()
+	}
+	if out.MaxRounds <= 0 {
+		out.MaxRounds = DefaultMaxRounds
+	}
+	if out.TargetAccuracy <= 0 {
+		w := out.Workload
+		out.TargetAccuracy = w.AccuracyFloor + TargetFraction*(w.AccuracyCeiling-w.AccuracyFloor)
+	}
+	if out.StragglerFactor <= 0 {
+		out.StragglerFactor = DefaultStragglerFactor
+	}
+	return out
+}
+
+// DeviceState is the per-round observed condition of one device — what
+// the de-facto FL protocol reports to the server (§4 footnote 3) and
+// what selection policies may inspect.
+type DeviceState struct {
+	// Device is the fleet entry.
+	Device *device.Device
+	// Load is the co-runner activity this round.
+	Load interference.Load
+	// BandwidthMbps is this round's sampled link bandwidth.
+	BandwidthMbps float64
+	// Signal is the corresponding signal-strength tier.
+	Signal power.Signal
+	// Data summarizes the local dataset (static across rounds).
+	Data *data.DeviceData
+}
+
+// RoundContext is everything a policy sees when selecting participants
+// for one aggregation round.
+type RoundContext struct {
+	// Round is the zero-based aggregation round index.
+	Round int
+	// Accuracy is the current global-model test accuracy.
+	Accuracy float64
+	// Workload and Params echo the run configuration.
+	Workload *workload.Model
+	Params   workload.GlobalParams
+	// Devices holds one state per fleet device, indexed like the
+	// fleet.
+	Devices []DeviceState
+
+	cfg *Config
+}
+
+// Selection is one participant choice: a device plus its execution
+// target and DVFS step (the two-level AutoFL action). Step -1 selects
+// the target's top step.
+type Selection struct {
+	Index  int
+	Target device.Target
+	Step   int
+}
+
+// Policy selects the participants (and their execution targets) for
+// each round. Implementations must be deterministic given their own
+// seeded randomness so runs reproduce.
+type Policy interface {
+	// Name identifies the policy in results and experiment output.
+	Name() string
+	// Select returns up to Params.K selections for this round.
+	Select(ctx *RoundContext) []Selection
+}
+
+// FeedbackPolicy is implemented by learning policies (AutoFL) that
+// consume the measured outcome of each round.
+type FeedbackPolicy interface {
+	Policy
+	// Feedback delivers the completed round's results: the paper's
+	// Step 5 measurement that drives the Q-table update.
+	Feedback(ctx *RoundContext, result *RoundResult)
+}
+
+// AggregationTraits modify how the server treats straggler and
+// non-IID updates — how FedNova and FEDL differ from plain FedAvg
+// (§6.3).
+type AggregationTraits struct {
+	// PartialUpdates lets devices that miss the deadline contribute a
+	// partial update instead of being dropped.
+	PartialUpdates bool
+	// DivergenceDamping in [0, 1] shrinks the quality loss of non-IID
+	// updates (update normalization / gradient correction). 0 is plain
+	// FedAvg.
+	DivergenceDamping float64
+	// NormalizedWeights aggregates every kept update with equal weight
+	// (FedNova's normalized averaging) instead of sample-proportional
+	// FedAvg weights.
+	NormalizedWeights bool
+}
+
+// TraitsPolicy is implemented by policies that carry aggregation
+// traits.
+type TraitsPolicy interface {
+	Policy
+	Traits() AggregationTraits
+}
+
+// DeviceRound is the measured outcome for one device in one round.
+type DeviceRound struct {
+	// Index into the fleet.
+	Index int
+	// Selected reports whether the device participated.
+	Selected bool
+	// Dropped reports whether a participant missed the straggler
+	// deadline and was excluded from aggregation.
+	Dropped bool
+	// Target and Step echo the executed action.
+	Target device.Target
+	Step   int
+	// CompSec and CommSec are the computation and communication times.
+	CompSec, CommSec float64
+	// EnergyJ is the device's total energy this round (compute +
+	// communication + idle slack for participants; pure idle
+	// otherwise).
+	EnergyJ float64
+	// UpdateFraction is the share of the local update that reached the
+	// aggregator: 1 for on-time participants, (0, 1) for partial
+	// updates, 0 for dropped or idle devices.
+	UpdateFraction float64
+}
+
+// RoundResult is the measured outcome of one aggregation round.
+type RoundResult struct {
+	Round int
+	// RoundSec is the wall-clock duration: gated by the slowest kept
+	// participant, or the deadline when stragglers were cut.
+	RoundSec float64
+	// Deadline is the straggler deadline that applied.
+	Deadline float64
+	// Accuracy and PrevAccuracy bracket the round's model-quality
+	// change.
+	Accuracy, PrevAccuracy float64
+	// EnergyTotalJ is fleet-wide energy, including idle devices
+	// (Eq 6 over all N devices).
+	EnergyTotalJ float64
+	// EnergyParticipantsJ is the energy of selected devices only.
+	EnergyParticipantsJ float64
+	// Devices holds per-device outcomes, indexed like the fleet.
+	Devices []DeviceRound
+	// Kept counts updates that reached aggregation (full or partial).
+	Kept int
+	// DroppedStragglers counts deadline-missing participants.
+	DroppedStragglers int
+}
+
+// Result summarizes a full FL run.
+type Result struct {
+	Policy string
+	// Converged reports whether TargetAccuracy was reached within
+	// MaxRounds.
+	Converged bool
+	// ConvergedRound is the 1-based round at which the target was
+	// reached (0 if never).
+	ConvergedRound int
+	// TimeToTargetSec is wall-clock time until convergence, or total
+	// run time if the run never converged.
+	TimeToTargetSec float64
+	// EnergyToTargetJ is fleet energy over the same horizon.
+	EnergyToTargetJ float64
+	// ParticipantEnergyToTargetJ is the participants-only energy over
+	// the same horizon.
+	ParticipantEnergyToTargetJ float64
+	// FinalAccuracy is the accuracy when the run ended.
+	FinalAccuracy float64
+	// AccuracyTrace holds accuracy after every round (Fig 6a).
+	AccuracyTrace []float64
+	// RewardTrace is filled by learning policies via feedback hooks
+	// (Fig 15); nil otherwise.
+	RewardTrace []float64
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// MeanRoundSec and MeanRoundEnergyJ are per-round averages over
+	// the executed horizon.
+	MeanRoundSec     float64
+	MeanRoundEnergyJ float64
+	// TargetAccuracy echoes the configured target.
+	TargetAccuracy float64
+	// AccuracyFloor echoes the workload floor, for normalization.
+	AccuracyFloor float64
+}
+
+// Progress returns how far the run got toward the target, in [0, 1]:
+// 1 when converged, 0 at the untrained floor. For unconverged runs it
+// measures *log-gap closure* — the fraction of ln(gap₀/gap_target)
+// covered — because saturating training spends equal time per
+// equal gap ratio: a run stalled just below the target has still
+// consumed only part of the (diverging) effort to reach it. This is
+// what makes the PPW of never-converging baselines collapse, as in the
+// paper's Fig 11(c)/(d).
+func (r *Result) Progress() float64 {
+	if r.Converged {
+		return 1
+	}
+	span := r.TargetAccuracy - r.AccuracyFloor
+	if span <= 0 {
+		return 0
+	}
+	// Margin keeps the target gap finite: reaching the target means
+	// closing all but 5% of the span.
+	margin := 0.05 * span
+	gap0 := span + margin
+	gapNow := r.TargetAccuracy + margin - r.FinalAccuracy
+	if gapNow >= gap0 {
+		return 0
+	}
+	if gapNow < margin {
+		gapNow = margin
+	}
+	p := math.Log(gap0/gapNow) / math.Log(gap0/margin)
+	return math.Max(0, math.Min(1, p))
+}
+
+// GlobalPPW is the cluster-level performance-per-watt figure of merit:
+// training progress per joule of fleet energy. For converged runs it
+// reduces to 1 / (energy to convergence), the quantity the paper's
+// normalized PPW bars compare.
+func (r *Result) GlobalPPW() float64 {
+	if r.EnergyToTargetJ <= 0 {
+		return 0
+	}
+	return r.Progress() / r.EnergyToTargetJ
+}
+
+// LocalPPW is the participant-level efficiency: progress per joule
+// spent by selected devices (the paper's "energy efficiency of
+// individual participants").
+func (r *Result) LocalPPW() float64 {
+	if r.ParticipantEnergyToTargetJ <= 0 {
+		return 0
+	}
+	return r.Progress() / r.ParticipantEnergyToTargetJ
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	conv := "no"
+	if r.Converged {
+		conv = fmt.Sprintf("round %d", r.ConvergedRound)
+	}
+	return fmt.Sprintf("%s: acc=%.3f converged=%s time=%.0fs energy=%.0fJ",
+		r.Policy, r.FinalAccuracy, conv, r.TimeToTargetSec, r.EnergyToTargetJ)
+}
+
+// Estimate predicts computation and communication seconds for running
+// the round's workload on device idx with the given action, using the
+// observed state in the context. Computation time includes the fixed
+// setup phase (Spec.SetupSec). Oracles plan with it; the engine uses
+// the same arithmetic for the actual execution, so oracle projections
+// are exact.
+func (ctx *RoundContext) Estimate(idx int, target device.Target, step int) (compSec, commSec float64) {
+	return ctx.estimateWithLoad(idx, target, step, ctx.Devices[idx].Load)
+}
+
+// estimateWithLoad is Estimate with an explicit co-runner load; the
+// engine uses it with the actual (post-selection) load, policies with
+// the observed one.
+func (ctx *RoundContext) estimateWithLoad(idx int, target device.Target, step int, load interference.Load) (compSec, commSec float64) {
+	ds := &ctx.Devices[idx]
+	spec := ds.Device.Spec
+	if step < 0 {
+		step = spec.Proc(target).TopStep() // -1 selects the top step
+	}
+	intensity := ctx.Workload.Intensity(ctx.Params.B)
+	tput := spec.EffectiveGFLOPS(target, step, intensity, load.CPUContention(), load.MemContention())
+	work := float64(ctx.Params.E) * float64(ds.Data.Samples) * ctx.Workload.TrainFLOPsPerSample()
+	compSec = spec.SetupSec + work/(tput*1e9)
+	payload := 2 * ctx.Workload.GradientBytes() // model down + gradients up
+	commSec = ctx.cfg.Env.Network.CommSeconds(payload, ds.BandwidthMbps)
+	return compSec, commSec
+}
+
+// DropRisk estimates the probability that device idx, executing the
+// given action, misses the deadline because a co-runner appears after
+// selection (the surprise component of runtime variance). Oracle
+// policies fold it into cluster scoring; AutoFL learns the same effect
+// from reward feedback instead.
+func (ctx *RoundContext) DropRisk(idx int, target device.Target, step int, deadline float64) float64 {
+	surprise := ctx.cfg.Env.Interference.SurpriseProb()
+	if surprise <= 0 {
+		return 0
+	}
+	risk := 0.0
+	for _, wl := range interference.WeightedLoads() {
+		comp, comm := ctx.estimateWithLoad(idx, target, step, wl.Load)
+		if comp+comm > deadline {
+			risk += wl.Weight
+		}
+	}
+	return surprise * risk
+}
+
+// StragglerFactor exposes the run's deadline multiplier to planning
+// policies.
+func (ctx *RoundContext) StragglerFactor() float64 { return ctx.cfg.StragglerFactor }
+
+// CleanCompletionTime is the completion time the server expects of
+// device idx: CPU at top frequency, no co-runner, this round's
+// bandwidth. The straggler deadline derives from it.
+func (ctx *RoundContext) CleanCompletionTime(idx int) (compSec, commSec float64) {
+	return ctx.estimateWithLoad(idx, device.CPU, -1, interference.Load{})
+}
+
+// FleetIdleWatts is the summed idle draw of all devices, used by
+// oracle policies to weigh round duration against participant energy.
+func (ctx *RoundContext) FleetIdleWatts() float64 {
+	total := 0.0
+	for i := range ctx.Devices {
+		total += ctx.Devices[i].Device.Spec.IdleWatts()
+	}
+	return total
+}
+
+// EstimateEnergy predicts the round energy of device idx under the
+// given action and an assumed round duration.
+func (ctx *RoundContext) EstimateEnergy(idx int, target device.Target, step int, roundSec float64) float64 {
+	comp, comm := ctx.Estimate(idx, target, step)
+	ds := &ctx.Devices[idx]
+	if comp+comm > roundSec {
+		roundSec = comp + comm
+	}
+	spec := ds.Device.Spec
+	if step < 0 {
+		step = spec.Proc(target).TopStep()
+	}
+	return power.ParticipantRoundEnergy(spec, target, step, ds.Signal, power.Phases{
+		SetupSec:  spec.SetupSec,
+		CrunchSec: comp - spec.SetupSec,
+		CommSec:   comm,
+		RoundSec:  roundSec,
+	})
+}
+
+// TopStep returns the top DVFS step for a device/target pair in this
+// context.
+func (ctx *RoundContext) TopStep(idx int, target device.Target) int {
+	return ctx.Devices[idx].Device.Spec.Proc(target).TopStep()
+}
+
+// Engine runs FL rounds under a Config.
+type Engine struct {
+	cfg       Config
+	streams   *rng.Stream
+	envRng    *rng.Stream
+	accRng    *rng.Stream
+	partition []data.DeviceData
+	conv      *convergenceModel
+}
+
+// New builds an engine. The device data partition is drawn once (local
+// datasets are static across rounds, as in the paper).
+func New(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	root := rng.New(c.Seed)
+	partRng := root.Fork()
+	e := &Engine{
+		cfg:     c,
+		streams: root,
+		envRng:  root.Fork(),
+		accRng:  root.Fork(),
+		partition: data.Partition(partRng, c.Data, len(c.Fleet),
+			c.Workload.Dataset.Classes, c.Workload.Dataset.SamplesPerDevice),
+	}
+	e.conv = newConvergenceModel(&e.cfg)
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Partition exposes the static device data assignment.
+func (e *Engine) Partition() []data.DeviceData { return e.partition }
+
+// observe samples the round's runtime variance for every device.
+func (e *Engine) observe(round int, accuracy float64) *RoundContext {
+	ctx := &RoundContext{
+		Round:    round,
+		Accuracy: accuracy,
+		Workload: e.cfg.Workload,
+		Params:   e.cfg.Params,
+		Devices:  make([]DeviceState, len(e.cfg.Fleet)),
+		cfg:      &e.cfg,
+	}
+	for i, d := range e.cfg.Fleet {
+		bw := e.cfg.Env.Network.Sample(e.envRng)
+		ctx.Devices[i] = DeviceState{
+			Device:        d,
+			Load:          e.cfg.Env.Interference.Sample(e.envRng),
+			BandwidthMbps: bw,
+			Signal:        network.SignalFor(bw),
+			Data:          &e.partition[i],
+		}
+	}
+	return ctx
+}
+
+// RunRound executes one aggregation round with the given policy and
+// current accuracy, returning the context it observed and the measured
+// result. It is exported for step-by-step callers (the TCP server and
+// the experiment harness); Run loops it.
+func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext, *RoundResult) {
+	ctx := e.observe(round, accuracy)
+	selections := sanitize(ctx, p.Select(ctx))
+
+	traits := AggregationTraits{}
+	if tp, ok := p.(TraitsPolicy); ok {
+		traits = tp.Traits()
+	}
+
+	res := &RoundResult{
+		Round:        round,
+		PrevAccuracy: accuracy,
+		Devices:      make([]DeviceRound, len(ctx.Devices)),
+	}
+	for i := range res.Devices {
+		res.Devices[i] = DeviceRound{Index: i}
+	}
+
+	// Per-participant completion times, under the loads actually in
+	// effect during execution: a co-runner can appear (or quit) after
+	// selection — the surprise variance no selector can observe away.
+	totals := make([]float64, 0, len(selections))
+	for _, sel := range selections {
+		dr := &res.Devices[sel.Index]
+		dr.Selected = true
+		dr.Target = sel.Target
+		dr.Step = sel.Step
+		actual := e.cfg.Env.Interference.Actual(e.envRng, ctx.Devices[sel.Index].Load)
+		dr.CompSec, dr.CommSec = ctx.estimateWithLoad(sel.Index, sel.Target, sel.Step, actual)
+		totals = append(totals, dr.CompSec+dr.CommSec)
+	}
+
+	// Straggler deadline: the server fixes a reporting deadline from
+	// the *expected clean* execution time of the selected cohort
+	// (standard CPU configuration, no co-runner) — it cannot observe
+	// on-device interference, so devices slowed by co-runners blow
+	// through it and are excluded, the §3.2 straggler problem.
+	deadline := math.Inf(1)
+	if len(selections) > 0 {
+		clean := make([]float64, 0, len(selections))
+		for _, sel := range selections {
+			comp, comm := ctx.CleanCompletionTime(sel.Index)
+			clean = append(clean, comp+comm)
+		}
+		deadline = e.cfg.StragglerFactor * median(clean)
+	}
+	res.Deadline = deadline
+
+	// Determine kept updates and the round duration.
+	roundSec := 0.0
+	for _, sel := range selections {
+		dr := &res.Devices[sel.Index]
+		total := dr.CompSec + dr.CommSec
+		if total <= deadline {
+			dr.UpdateFraction = 1
+			res.Kept++
+			if total > roundSec {
+				roundSec = total
+			}
+			continue
+		}
+		dr.Dropped = true
+		res.DroppedStragglers++
+		if traits.PartialUpdates {
+			// FedProx/FedNova-style partial work proportional to the
+			// share of local training finished by the deadline.
+			frac := deadline / total
+			dr.UpdateFraction = frac
+			res.Kept++
+		}
+		// A straggler burns the deadline window regardless.
+		if deadline > roundSec {
+			roundSec = deadline
+		}
+	}
+	if len(selections) == 0 {
+		roundSec = e.cfg.Env.Network.BaseLatencySec
+	}
+	res.RoundSec = roundSec
+
+	// Energy accounting for the whole fleet.
+	for i := range ctx.Devices {
+		dr := &res.Devices[i]
+		ds := &ctx.Devices[i]
+		if !dr.Selected {
+			dr.EnergyJ = power.IdleEnergy(ds.Device.Spec.IdleWatts(), roundSec)
+			res.EnergyTotalJ += dr.EnergyJ
+			continue
+		}
+		comp, comm := dr.CompSec, dr.CommSec
+		if dr.Dropped {
+			// Work stops at the deadline; communication of whatever
+			// was produced still happens for partial updates.
+			budget := math.Max(0, deadline-dr.CommSec)
+			comp = math.Min(comp, budget)
+			if !traits.PartialUpdates {
+				comm = math.Min(comm, deadline)
+			}
+		}
+		spec := ds.Device.Spec
+		setup := math.Min(spec.SetupSec, comp)
+		dr.EnergyJ = power.ParticipantRoundEnergy(spec, dr.Target, dr.Step, ds.Signal, power.Phases{
+			SetupSec:  setup,
+			CrunchSec: comp - setup,
+			CommSec:   comm,
+			RoundSec:  roundSec,
+		})
+		res.EnergyTotalJ += dr.EnergyJ
+		res.EnergyParticipantsJ += dr.EnergyJ
+	}
+
+	// Advance the global model.
+	res.Accuracy = e.conv.advance(e.accRng, ctx, res, traits)
+	return ctx, res
+}
+
+// Run executes rounds until the accuracy target or MaxRounds, feeding
+// learning policies their per-round results.
+func (e *Engine) Run(p Policy) *Result {
+	acc := e.cfg.Workload.AccuracyFloor
+	out := &Result{
+		Policy:         p.Name(),
+		TargetAccuracy: e.cfg.TargetAccuracy,
+		AccuracyFloor:  e.cfg.Workload.AccuracyFloor,
+	}
+	fb, hasFeedback := p.(FeedbackPolicy)
+	for round := 0; round < e.cfg.MaxRounds; round++ {
+		ctx, res := e.RunRound(p, round, acc)
+		if hasFeedback {
+			fb.Feedback(ctx, res)
+		}
+		acc = res.Accuracy
+		out.Rounds++
+		out.AccuracyTrace = append(out.AccuracyTrace, acc)
+		out.TimeToTargetSec += res.RoundSec
+		out.EnergyToTargetJ += res.EnergyTotalJ
+		out.ParticipantEnergyToTargetJ += res.EnergyParticipantsJ
+		if !out.Converged && acc >= e.cfg.TargetAccuracy {
+			out.Converged = true
+			out.ConvergedRound = round + 1
+			break
+		}
+	}
+	out.FinalAccuracy = acc
+	if out.Rounds > 0 {
+		out.MeanRoundSec = out.TimeToTargetSec / float64(out.Rounds)
+		out.MeanRoundEnergyJ = out.EnergyToTargetJ / float64(out.Rounds)
+	}
+	if rt, ok := p.(interface{ RewardTrace() []float64 }); ok {
+		out.RewardTrace = rt.RewardTrace()
+	}
+	return out
+}
+
+// sanitize deduplicates selections, clamps indices/steps, and truncates
+// to K participants.
+func sanitize(ctx *RoundContext, sels []Selection) []Selection {
+	seen := make(map[int]bool, len(sels))
+	out := make([]Selection, 0, len(sels))
+	for _, s := range sels {
+		if s.Index < 0 || s.Index >= len(ctx.Devices) || seen[s.Index] {
+			continue
+		}
+		seen[s.Index] = true
+		proc := ctx.Devices[s.Index].Device.Spec.Proc(s.Target)
+		if s.Step < 0 || s.Step > proc.TopStep() {
+			s.Step = proc.TopStep()
+		}
+		out = append(out, s)
+		if len(out) == ctx.Params.K {
+			break
+		}
+	}
+	return out
+}
+
+func median(vals []float64) float64 {
+	cp := append([]float64(nil), vals...)
+	// Insertion sort: participant counts are small (K <= ~50).
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,336 @@
+// Package workload describes the neural-network training workloads of
+// the AutoFL evaluation as analytic cost models: the layer mix (CONV /
+// FC / recurrent, the S_CONV / S_FC / S_RC state features of Table 1),
+// per-sample training FLOPs, data-movement bytes, parameter counts and
+// gradient payload sizes.
+//
+// These models drive the roofline throughput computation in
+// internal/device and the round timing/energy accounting in
+// internal/sim. The three predefined workloads correspond to the
+// paper's §5.2: CNN-MNIST, LSTM-Shakespeare, and MobileNet-ImageNet.
+package workload
+
+import "fmt"
+
+// LayerKind classifies a layer the way AutoFL's state space does
+// (Table 1): convolution, fully-connected, or recurrent.
+type LayerKind int
+
+const (
+	// Conv is a convolutional layer: high arithmetic intensity,
+	// compute-bound on mobile SoCs.
+	Conv LayerKind = iota
+	// FC is a fully-connected layer: moderate intensity.
+	FC
+	// RC is a recurrent layer (LSTM/GRU cell): low intensity,
+	// memory-bandwidth-bound.
+	RC
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "CONV"
+	case FC:
+		return "FC"
+	case RC:
+		return "RC"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// Layer is one layer of a training workload, described by its cost
+// rather than its mathematical definition.
+type Layer struct {
+	Kind LayerKind
+	// FwdFLOPsPerSample is the forward-pass floating-point work for a
+	// single training sample.
+	FwdFLOPsPerSample float64
+	// Params is the number of trainable parameters.
+	Params int
+	// ActivationBytes is the activation traffic (read + write) per
+	// sample for the forward pass.
+	ActivationBytes float64
+}
+
+// Dataset describes the federated dataset a workload trains on. Sample
+// counts are per the entire population of devices.
+type Dataset struct {
+	Name string
+	// Classes is the number of label classes; it bounds the S_Data
+	// state feature.
+	Classes int
+	// SamplesPerDevice is the mean number of local training samples
+	// held by one device.
+	SamplesPerDevice int
+	// SampleBytes is the wire/storage size of one sample.
+	SampleBytes int
+}
+
+// Model is a complete training workload: a named layer stack plus the
+// dataset it trains on and the accuracy envelope used by the
+// convergence model.
+type Model struct {
+	Name    string
+	Layers  []Layer
+	Dataset Dataset
+
+	// AccuracyFloor is the untrained (random-guess) accuracy.
+	AccuracyFloor float64
+	// AccuracyCeiling is the best accuracy the model family attains on
+	// the dataset.
+	AccuracyCeiling float64
+	// BaseProgressRate scales how much one reference round of fully
+	// IID updates closes the gap to the ceiling (see internal/sim).
+	BaseProgressRate float64
+}
+
+// CountLayers returns the number of layers of each kind, in the order
+// (CONV, FC, RC) used by the Table 1 state features.
+func (m *Model) CountLayers() (conv, fc, rc int) {
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case Conv:
+			conv++
+		case FC:
+			fc++
+		case RC:
+			rc++
+		}
+	}
+	return
+}
+
+// Params returns the total trainable parameter count.
+func (m *Model) Params() int {
+	total := 0
+	for _, l := range m.Layers {
+		total += l.Params
+	}
+	return total
+}
+
+// GradientBytes is the size of one gradient (or model) payload on the
+// wire: float32 per parameter, as in the paper's FedAvg deployments.
+func (m *Model) GradientBytes() float64 { return 4 * float64(m.Params()) }
+
+// FwdFLOPsPerSample is the forward-pass work per sample across all
+// layers.
+func (m *Model) FwdFLOPsPerSample() float64 {
+	total := 0.0
+	for _, l := range m.Layers {
+		total += l.FwdFLOPsPerSample
+	}
+	return total
+}
+
+// TrainFLOPsPerSample is the full fwd+bwd+update work per sample. The
+// standard estimate for SGD training is 3x the forward pass (one
+// forward, two backward-sized passes).
+func (m *Model) TrainFLOPsPerSample() float64 { return 3 * m.FwdFLOPsPerSample() }
+
+// BytesPerSample is the data movement per training sample: activations
+// (forward and backward) plus one sweep over parameters and gradients
+// amortized across the minibatch. batch must be >= 1.
+func (m *Model) BytesPerSample(batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	act := 0.0
+	params := 0.0
+	for _, l := range m.Layers {
+		act += l.ActivationBytes
+		params += float64(l.Params)
+	}
+	// Forward + backward roughly doubles activation traffic; weights
+	// and gradients are touched once per minibatch (4 bytes each way).
+	return 2*act + 8*params/float64(batch)
+}
+
+// Intensity is the arithmetic intensity (FLOP per byte moved) of
+// training with the given minibatch size. It determines whether a
+// device runs the workload compute-bound or memory-bound in the
+// roofline model.
+func (m *Model) Intensity(batch int) float64 {
+	b := m.BytesPerSample(batch)
+	if b == 0 {
+		return 0
+	}
+	return m.TrainFLOPsPerSample() / b
+}
+
+// GlobalParams is the (B, E, K) tuple fixed by the FL service operator
+// (§2.1): minibatch size, local epochs, and participants per round.
+type GlobalParams struct {
+	B int // minibatch size
+	E int // local epochs
+	K int // participant devices per round
+}
+
+// Settings S1–S4 from Table 5 of the paper.
+var (
+	S1 = GlobalParams{B: 32, E: 10, K: 20}
+	S2 = GlobalParams{B: 32, E: 5, K: 20}
+	S3 = GlobalParams{B: 16, E: 5, K: 20}
+	S4 = GlobalParams{B: 16, E: 5, K: 10}
+)
+
+// Settings lists S1–S4 in order, for parameter sweeps.
+func Settings() []GlobalParams { return []GlobalParams{S1, S2, S3, S4} }
+
+// SettingName returns "S1".."S4" for the Table 5 settings and a
+// formatted tuple otherwise.
+func SettingName(p GlobalParams) string {
+	switch p {
+	case S1:
+		return "S1"
+	case S2:
+		return "S2"
+	case S3:
+		return "S3"
+	case S4:
+		return "S4"
+	}
+	return fmt.Sprintf("(B=%d,E=%d,K=%d)", p.B, p.E, p.K)
+}
+
+// CNNMNIST returns the CNN-MNIST workload (§5.2 workload 1): a small
+// convolutional classifier in the style of the FedAvg paper's MNIST
+// CNN — two conv layers and two FC layers, 10 classes. Compute-bound:
+// CONV and FC layers dominate.
+func CNNMNIST() *Model {
+	return &Model{
+		Name: "CNN-MNIST",
+		Layers: []Layer{
+			// 5x5x32 conv over 28x28x1, then 5x5x64 conv over 14x14x32.
+			{Kind: Conv, FwdFLOPsPerSample: 2 * 28 * 28 * 5 * 5 * 32, Params: 5*5*32 + 32, ActivationBytes: 4 * 28 * 28 * 32},
+			{Kind: Conv, FwdFLOPsPerSample: 2 * 14 * 14 * 5 * 5 * 32 * 64, Params: 5*5*32*64 + 64, ActivationBytes: 4 * 14 * 14 * 64},
+			{Kind: FC, FwdFLOPsPerSample: 2 * 7 * 7 * 64 * 512, Params: 7*7*64*512 + 512, ActivationBytes: 4 * 512},
+			{Kind: FC, FwdFLOPsPerSample: 2 * 512 * 10, Params: 512*10 + 10, ActivationBytes: 4 * 10},
+		},
+		Dataset: Dataset{
+			Name:             "MNIST",
+			Classes:          10,
+			SamplesPerDevice: 300, // 60k train samples spread over 200 devices
+			SampleBytes:      28*28 + 1,
+		},
+		AccuracyFloor:    0.10,
+		AccuracyCeiling:  0.99,
+		BaseProgressRate: 0.018,
+	}
+}
+
+// LSTMShakespeare returns the LSTM-Shakespeare workload (§5.2 workload
+// 2): next-character prediction with stacked LSTM cells. Recurrent
+// layers dominate, so training is memory-bandwidth-bound and the
+// performance gap between device tiers shrinks (§3.1).
+func LSTMShakespeare() *Model {
+	const (
+		hidden = 256
+		vocab  = 80 // printable characters in the Shakespeare corpus
+		seqLen = 80
+	)
+	// One LSTM cell step: 8*h*(h+in) MACs = 16*h*(h+in) FLOPs, over
+	// seqLen steps.
+	cellFLOPs := func(in int) float64 { return 16 * hidden * float64(hidden+in) * seqLen }
+	cellParams := func(in int) int { return 4 * hidden * (hidden + in + 1) }
+	// Recurrent layers are memory-bandwidth-bound (§3.1): the gate
+	// weight matrices are streamed from DRAM at every timestep because
+	// the recurrence prevents the cross-sample reuse that convolutions
+	// enjoy. We fold that per-step weight traffic into the layer's
+	// activation bytes (ActivationBytes is halved here because
+	// BytesPerSample doubles it to account for the backward pass,
+	// which re-reads the weights too).
+	cellBytes := func(in int) float64 {
+		stateBytes := 4.0 * hidden * 6 * seqLen // gates + cell + hidden per step
+		weightBytes := 4.0 * float64(cellParams(in)) * seqLen
+		return stateBytes + weightBytes/2
+	}
+	return &Model{
+		Name: "LSTM-Shakespeare",
+		Layers: []Layer{
+			{Kind: RC, FwdFLOPsPerSample: cellFLOPs(vocab), Params: cellParams(vocab), ActivationBytes: cellBytes(vocab)},
+			{Kind: RC, FwdFLOPsPerSample: cellFLOPs(hidden), Params: cellParams(hidden), ActivationBytes: cellBytes(hidden)},
+			{Kind: FC, FwdFLOPsPerSample: 2 * hidden * vocab * seqLen, Params: hidden*vocab + vocab, ActivationBytes: 4 * vocab * seqLen},
+		},
+		Dataset: Dataset{
+			Name:             "Shakespeare",
+			Classes:          vocab,
+			SamplesPerDevice: 200,
+			SampleBytes:      seqLen + 1,
+		},
+		AccuracyFloor:    0.02,
+		AccuracyCeiling:  0.58, // char-level prediction ceilings are low
+		BaseProgressRate: 0.016,
+	}
+}
+
+// MobileNetImageNet returns the MobileNet-ImageNet workload (§5.2
+// workload 3): a depthwise-separable CNN with 27 convolutional layers
+// and a classifier head, ~4.2M parameters, ~0.57 GFLOPs per forward
+// sample — the published MobileNetV1 figures.
+func MobileNetImageNet() *Model {
+	layers := make([]Layer, 0, 28)
+	// First full conv, then 13 depthwise-separable blocks (each a
+	// depthwise conv + a pointwise conv = 26 conv layers), then FC.
+	layers = append(layers, Layer{Kind: Conv, FwdFLOPsPerSample: 21e6, Params: 864, ActivationBytes: 4 * 112 * 112 * 32})
+	type block struct {
+		flops  float64
+		params int
+		act    float64
+	}
+	blocks := []block{
+		{23e6, 4.5e3, 4 * 112 * 112 * 64},
+		{35e6, 10e3, 4 * 56 * 56 * 128},
+		{50e6, 18e3, 4 * 56 * 56 * 128},
+		{48e6, 35e3, 4 * 28 * 28 * 256},
+		{65e6, 70e3, 4 * 28 * 28 * 256},
+		{60e6, 135e3, 4 * 14 * 14 * 512},
+		{70e6, 265e3, 4 * 14 * 14 * 512},
+		{70e6, 265e3, 4 * 14 * 14 * 512},
+		{70e6, 265e3, 4 * 14 * 14 * 512},
+		{70e6, 265e3, 4 * 14 * 14 * 512},
+		{70e6, 265e3, 4 * 14 * 14 * 512},
+		{55e6, 525e3, 4 * 7 * 7 * 1024},
+		{60e6, 1.05e6, 4 * 7 * 7 * 1024},
+	}
+	for _, b := range blocks {
+		// Split each separable block into its depthwise (cheap) and
+		// pointwise (dominant) halves.
+		layers = append(layers,
+			Layer{Kind: Conv, FwdFLOPsPerSample: b.flops * 0.1, Params: int(float64(b.params) * 0.05), ActivationBytes: b.act * 0.5},
+			Layer{Kind: Conv, FwdFLOPsPerSample: b.flops * 0.9, Params: int(float64(b.params) * 0.95), ActivationBytes: b.act * 0.5},
+		)
+	}
+	layers = append(layers, Layer{Kind: FC, FwdFLOPsPerSample: 2 * 1024 * 1000, Params: 1024*1000 + 1000, ActivationBytes: 4 * 1000})
+	return &Model{
+		Name:   "MobileNet-ImageNet",
+		Layers: layers,
+		Dataset: Dataset{
+			Name:             "ImageNet",
+			Classes:          1000,
+			SamplesPerDevice: 120,
+			SampleBytes:      224 * 224 * 3,
+		},
+		AccuracyFloor:    0.001,
+		AccuracyCeiling:  0.70,
+		BaseProgressRate: 0.013,
+	}
+}
+
+// All returns the three evaluation workloads in the paper's order.
+func All() []*Model {
+	return []*Model{CNNMNIST(), LSTMShakespeare(), MobileNetImageNet()}
+}
+
+// ByName returns the workload with the given name, or nil.
+func ByName(name string) *Model {
+	for _, m := range All() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCNNMNISTLayerMix(t *testing.T) {
+	m := CNNMNIST()
+	conv, fc, rc := m.CountLayers()
+	if conv != 2 || fc != 2 || rc != 0 {
+		t.Errorf("CNN-MNIST layer mix = (%d conv, %d fc, %d rc), want (2, 2, 0)", conv, fc, rc)
+	}
+}
+
+func TestLSTMLayerMix(t *testing.T) {
+	m := LSTMShakespeare()
+	conv, fc, rc := m.CountLayers()
+	if rc != 2 || conv != 0 {
+		t.Errorf("LSTM layer mix = (%d conv, %d fc, %d rc), want recurrent-dominated", conv, fc, rc)
+	}
+}
+
+func TestMobileNetShape(t *testing.T) {
+	m := MobileNetImageNet()
+	conv, fc, _ := m.CountLayers()
+	if conv != 27 {
+		t.Errorf("MobileNet conv layers = %d, want 27", conv)
+	}
+	if fc != 1 {
+		t.Errorf("MobileNet fc layers = %d, want 1", fc)
+	}
+	// Published MobileNetV1: ~4.2M params, ~0.57G mult-adds forward
+	// (= ~1.1 GFLOPs at 2 FLOPs per MAC).
+	params := m.Params()
+	if params < 3_500_000 || params > 5_000_000 {
+		t.Errorf("MobileNet params = %d, want ~4.2M", params)
+	}
+	fwd := m.FwdFLOPsPerSample()
+	if fwd < 0.6e9 || fwd > 1.3e9 {
+		t.Errorf("MobileNet forward FLOPs = %.3g, want ~1.1e9", fwd)
+	}
+}
+
+func TestIntensityOrdering(t *testing.T) {
+	// The paper's §3.1 observation: CNN training is compute-bound
+	// (high intensity) while LSTM training is memory-bound (low
+	// intensity). Intensity must reflect that ordering.
+	const batch = 16
+	cnn := CNNMNIST().Intensity(batch)
+	lstm := LSTMShakespeare().Intensity(batch)
+	mob := MobileNetImageNet().Intensity(batch)
+	if cnn <= lstm {
+		t.Errorf("CNN intensity %.2f not above LSTM intensity %.2f", cnn, lstm)
+	}
+	if mob <= lstm {
+		t.Errorf("MobileNet intensity %.2f not above LSTM intensity %.2f", mob, lstm)
+	}
+}
+
+func TestIntensityGrowsWithBatch(t *testing.T) {
+	m := CNNMNIST()
+	if m.Intensity(32) <= m.Intensity(1) {
+		t.Error("larger batches should amortize weight traffic and raise intensity")
+	}
+}
+
+func TestTrainFLOPsIsTripleForward(t *testing.T) {
+	for _, m := range All() {
+		if got, want := m.TrainFLOPsPerSample(), 3*m.FwdFLOPsPerSample(); got != want {
+			t.Errorf("%s train FLOPs = %v, want %v", m.Name, got, want)
+		}
+	}
+}
+
+func TestGradientBytes(t *testing.T) {
+	m := CNNMNIST()
+	if got, want := m.GradientBytes(), 4*float64(m.Params()); got != want {
+		t.Errorf("GradientBytes = %v, want %v", got, want)
+	}
+}
+
+func TestSettingsTable5(t *testing.T) {
+	if S1 != (GlobalParams{32, 10, 20}) {
+		t.Errorf("S1 = %+v", S1)
+	}
+	if S2 != (GlobalParams{32, 5, 20}) {
+		t.Errorf("S2 = %+v", S2)
+	}
+	if S3 != (GlobalParams{16, 5, 20}) {
+		t.Errorf("S3 = %+v", S3)
+	}
+	if S4 != (GlobalParams{16, 5, 10}) {
+		t.Errorf("S4 = %+v", S4)
+	}
+	if len(Settings()) != 4 {
+		t.Error("Settings() should list S1..S4")
+	}
+}
+
+func TestSettingName(t *testing.T) {
+	if SettingName(S3) != "S3" {
+		t.Errorf("SettingName(S3) = %q", SettingName(S3))
+	}
+	custom := GlobalParams{B: 64, E: 1, K: 5}
+	if SettingName(custom) != "(B=64,E=1,K=5)" {
+		t.Errorf("SettingName(custom) = %q", SettingName(custom))
+	}
+}
+
+func TestComputationScalesWithSettings(t *testing.T) {
+	// S1 assigns more per-device computation than S2 (E: 10 vs 5);
+	// this drives the Fig 4 cluster shifts. Verify the per-round work
+	// ordering the settings imply.
+	m := CNNMNIST()
+	work := func(p GlobalParams) float64 {
+		batches := (m.Dataset.SamplesPerDevice + p.B - 1) / p.B
+		return float64(p.E) * float64(batches) * float64(p.B) * m.TrainFLOPsPerSample()
+	}
+	if !(work(S1) > work(S2)) {
+		t.Error("S1 should assign more per-device work than S2")
+	}
+	if w2, w3 := work(S2), work(S3); w3 > w2*1.05 {
+		t.Errorf("S3 per-device work (%.3g) should not exceed S2 (%.3g)", w3, w2)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		if got := ByName(m.Name); got == nil || got.Name != m.Name {
+			t.Errorf("ByName(%q) failed", m.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of unknown workload should be nil")
+	}
+}
+
+func TestLayerKindString(t *testing.T) {
+	if Conv.String() != "CONV" || FC.String() != "FC" || RC.String() != "RC" {
+		t.Error("LayerKind String values wrong")
+	}
+	if LayerKind(9).String() != "LayerKind(9)" {
+		t.Error("unknown LayerKind String wrong")
+	}
+}
+
+// Property: cost metrics are positive and finite for all predefined
+// workloads under any reasonable batch size.
+func TestCostsPositiveProperty(t *testing.T) {
+	models := All()
+	f := func(batchRaw uint8) bool {
+		batch := int(batchRaw)%128 + 1
+		for _, m := range models {
+			if m.TrainFLOPsPerSample() <= 0 || m.BytesPerSample(batch) <= 0 ||
+				m.Intensity(batch) <= 0 || m.GradientBytes() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesPerSampleClampsBatch(t *testing.T) {
+	m := CNNMNIST()
+	if m.BytesPerSample(0) != m.BytesPerSample(1) {
+		t.Error("batch < 1 should be clamped to 1")
+	}
+}
