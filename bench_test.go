@@ -7,6 +7,8 @@
 package autofl
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"autofl/internal/core"
@@ -17,6 +19,7 @@ import (
 	"autofl/internal/qlearn"
 	"autofl/internal/rng"
 	"autofl/internal/sim"
+	"autofl/internal/sweep"
 	"autofl/internal/workload"
 )
 
@@ -232,6 +235,80 @@ func BenchmarkEngineRound(b *testing.B) {
 		_, _ = eng.RunRound(p, i, 0.5)
 	}
 }
+
+// benchSweepGrid is a policy×environment grid at bench scale: 8 cells
+// of 60-round, 40-device runs.
+func benchSweepGrid(seed uint64) sweep.Grid {
+	return sweep.Grid{
+		Envs:     []string{"ideal", "field"},
+		Policies: []string{"FedAvg-Random", "Performance", "Power", "AutoFL"},
+		Seed:     seed,
+	}
+}
+
+// benchSweepRunner executes sweep cells at the reduced bench scale
+// (the full-scale runner lives in the root package's SweepRunner).
+func benchSweepRunner() sweep.Runner {
+	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		cfg := benchConfig(seed)
+		switch c.Env {
+		case "ideal":
+			cfg.Env = sim.EnvIdeal()
+		case "field":
+			cfg.Env = sim.EnvField()
+		default:
+			return sweep.Outcome{}, fmt.Errorf("unknown env %q", c.Env)
+		}
+		var p sim.Policy
+		switch c.Policy {
+		case "FedAvg-Random":
+			p = policy.NewRandom(seed)
+		case "Performance":
+			p = policy.NewPerformance(seed)
+		case "Power":
+			p = policy.NewPower(seed)
+		case "AutoFL":
+			p = core.New(core.DefaultOptions(seed))
+		default:
+			return sweep.Outcome{}, fmt.Errorf("unknown policy %q", c.Policy)
+		}
+		res := sim.New(cfg).Run(p)
+		return sweep.Outcome{
+			Converged:       res.Converged,
+			Rounds:          res.Rounds,
+			TimeToTargetSec: res.TimeToTargetSec,
+			EnergyToTargetJ: res.EnergyToTargetJ,
+			GlobalPPW:       res.GlobalPPW(),
+			LocalPPW:        res.LocalPPW(),
+			FinalAccuracy:   res.FinalAccuracy,
+		}, nil
+	}
+}
+
+func benchSweep(b *testing.B, parallel int) {
+	b.Helper()
+	b.ReportAllocs()
+	run := benchSweepRunner()
+	for i := 0; i < b.N; i++ {
+		g := benchSweepGrid(uint64(i + 1))
+		store, err := sweep.Run(context.Background(), g, run, sweep.Options{Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if store.Len() != g.Size() {
+			b.Fatalf("sweep ran %d of %d cells", store.Len(), g.Size())
+		}
+	}
+}
+
+// BenchmarkSweepSerial — E18: the policy×environment sweep on one
+// worker, the -parallel=1 reference the engine must match byte for
+// byte.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel — E18: the same sweep on GOMAXPROCS workers;
+// the serial/parallel ratio is the engine's speedup on this machine.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // BenchmarkOracleSelect isolates the OFL oracle's per-round search.
 func BenchmarkOracleSelect(b *testing.B) {

@@ -1,0 +1,178 @@
+// Command autofl-sweep runs declarative grids of AutoFL scenarios —
+// workloads × settings × data scenarios × environments × policies ×
+// seed replicates — on a worker pool, and exports per-cell results
+// plus mean/stddev replicate summaries as JSON or CSV.
+//
+// Cell seeds derive deterministically from the grid seed and the cell
+// key, so output is byte-identical for any -parallel value; replicate
+// the paper's evaluation once, in parallel, instead of figure by
+// figure.
+//
+// Examples:
+//
+//	autofl-sweep -list                      # show the axis values
+//	autofl-sweep                            # full grid, GOMAXPROCS workers
+//	autofl-sweep -parallel 1                # serial reference run
+//	autofl-sweep -workloads CNN-MNIST -envs field \
+//	    -policies FedAvg-Random,AutoFL -replicates 3 \
+//	    -rounds 200 -format csv -out sweep.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"autofl"
+	"autofl/internal/sweep"
+)
+
+func main() {
+	var (
+		workloads  = flag.String("workloads", "all", "comma-separated workloads, or 'all'")
+		settings   = flag.String("settings", "all", "comma-separated (B,E,K) settings, or 'all'")
+		dataAxis   = flag.String("data", "all", "comma-separated data scenarios, or 'all'")
+		envs       = flag.String("envs", "all", "comma-separated environments, or 'all'")
+		policies   = flag.String("policies", "all", "comma-separated policies, or 'all'")
+		replicates = flag.Int("replicates", 1, "seed replicates per cell")
+		seed       = flag.Uint64("seed", 42, "grid master seed")
+		parallel   = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		rounds     = flag.Int("rounds", 0, "max rounds per run (0 = the paper's 1000)")
+		out        = flag.String("out", "-", "output path ('-' = stdout)")
+		format     = flag.String("format", "json", "output format: json or csv")
+		progress   = flag.Bool("progress", false, "print per-cell progress to stderr")
+		list       = flag.Bool("list", false, "list axis values and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		listAxes()
+		return
+	}
+	if *format != "json" && *format != "csv" {
+		fatalf("unknown -format %q (want json or csv)", *format)
+	}
+
+	full := autofl.SweepGrid(*seed, *replicates)
+	grid := sweep.Grid{Seed: *seed, Replicates: *replicates}
+	grid.Workloads = pickAxis("workloads", *workloads, full.Workloads)
+	grid.Settings = pickAxis("settings", *settings, full.Settings)
+	grid.Data = pickAxis("data", *dataAxis, full.Data)
+	grid.Envs = pickAxis("envs", *envs, full.Envs)
+	grid.Policies = pickAxis("policies", *policies, full.Policies)
+
+	// Open the output before running so a bad path fails fast, not
+	// after a long sweep.
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The first signal cancels ctx; in-flight cells still run to
+	// completion. Restoring the default handler then lets a second
+	// Ctrl-C force-quit instead of being swallowed.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	opts := sweep.Options{Parallel: *parallel}
+	if *progress {
+		opts.OnProgress = func(p sweep.Progress) {
+			status := "ok"
+			if p.Result.Err != "" {
+				status = "ERR " + p.Result.Err
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n",
+				p.Done, p.Total, p.Result.Cell.Key(), status)
+		}
+	}
+
+	start := time.Now()
+	store, err := autofl.RunSweep(ctx, grid, *rounds, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autofl-sweep: interrupted after %d of %d cells: %v\n",
+			store.Len(), grid.Size(), err)
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "%d cells in %s\n", store.Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	var werr error
+	if *format == "csv" {
+		werr = store.WriteCSV(w)
+	} else {
+		werr = store.WriteJSON(w)
+	}
+	if werr != nil {
+		fatalf("writing %s: %v", *format, werr)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// pickAxis resolves a comma-separated flag against the axis's known
+// values ("all" selects every one).
+func pickAxis(name, arg string, known []string) []string {
+	if arg == "all" || arg == "" {
+		return known
+	}
+	valid := map[string]bool{}
+	for _, v := range known {
+		valid[v] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range strings.Split(arg, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" || seen[v] {
+			// Duplicate values would repeat cell keys (and so seeds),
+			// silently inflating replicate counts.
+			continue
+		}
+		if !valid[v] {
+			fatalf("unknown %s value %q (see -list)", name, v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatalf("-%s selected no values", name)
+	}
+	return out
+}
+
+func listAxes() {
+	g := autofl.SweepGrid(0, 1)
+	axes := []struct {
+		name string
+		vals []string
+	}{
+		{"workloads", g.Workloads},
+		{"settings", g.Settings},
+		{"data", g.Data},
+		{"envs", g.Envs},
+		{"policies", g.Policies},
+	}
+	for _, a := range axes {
+		fmt.Printf("%s: %s\n", a.name, strings.Join(a.vals, ", "))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "autofl-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module autofl
+
+go 1.24

@@ -71,8 +71,7 @@ func Fig04GlobalParams(o Options) *Figure {
 		var base float64
 		series := Series{Label: workload.SettingName(params)}
 		bestName, bestPPW := "", 0.0
-		for i, p := range clusterPolicies(o.Seed) {
-			res := runPolicy(cfg, p)
+		for i, res := range runPolicies(cfg, clusterPolicies(o.Seed)) {
 			ppw := res.GlobalPPW()
 			if i == 0 {
 				base = ppw
@@ -117,8 +116,7 @@ func Fig05RuntimeVariance(o Options) *Figure {
 		var base float64
 		series := Series{Label: e.name}
 		bestName, bestPPW := "", 0.0
-		for i, p := range clusterPolicies(o.Seed) {
-			res := runPolicy(cfg, p)
+		for i, res := range runPolicies(cfg, clusterPolicies(o.Seed)) {
 			ppw := res.GlobalPPW()
 			if i == 0 {
 				base = ppw
@@ -149,10 +147,17 @@ func Fig06DataHeterogeneity(o Options) *Figure {
 	}
 	ppwSeries := Series{Label: "global PPW vs IID"}
 	var iidPPW float64
-	for _, sc := range data.Scenarios() {
-		cfg := baseConfig(o)
-		cfg.Data = sc
-		res := runPolicy(cfg, policy.NewRandom(o.Seed))
+	scenarios := data.Scenarios()
+	cfgs := make([]sim.Config, len(scenarios))
+	ps := make([]sim.Policy, len(scenarios))
+	for i, sc := range scenarios {
+		cfgs[i] = baseConfig(o)
+		cfgs[i].Data = sc
+		ps[i] = policy.NewRandom(o.Seed)
+	}
+	results := runConfigs(cfgs, ps)
+	for i, sc := range scenarios {
+		res := results[i]
 		if sc == data.IdealIID {
 			iidPPW = res.GlobalPPW()
 		}
@@ -191,9 +196,7 @@ func Table4Characterization(o Options) *Figure {
 	powerSeries := Series{Label: "mean participant watts"}
 	ppwSeries := Series{Label: "global PPW vs C0"}
 	var base float64
-	for i, p := range clusterPolicies(o.Seed) {
-		cfg := baseConfig(o)
-		res := runPolicy(cfg, p)
+	for i, res := range runPolicies(baseConfig(o), clusterPolicies(o.Seed)) {
 		name := "C0"
 		if i > 0 {
 			name = policy.Table4()[i-1].Name

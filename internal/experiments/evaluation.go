@@ -17,10 +17,7 @@ import (
 // PPW / convergence series to the figure, all normalized to
 // FedAvg-Random. Returns the AutoFL improvement.
 func addPolicyComparison(f *Figure, label string, cfg sim.Config, seed uint64) float64 {
-	results := make([]*sim.Result, 0, 6)
-	for _, p := range policySet(seed) {
-		results = append(results, runPolicy(cfg, p))
-	}
+	results := runPolicies(cfg, policySet(seed))
 	cmp, err := metrics.Compare("FedAvg-Random", results)
 	if err != nil {
 		f.Notes = append(f.Notes, "comparison failed: "+err.Error())
@@ -252,10 +249,7 @@ func Fig13PriorWork(o Options) *Figure {
 	for _, w := range workload.All() {
 		cfg := baseConfig(o)
 		cfg.Workload = w
-		results := make([]*sim.Result, 0, 4)
-		for _, p := range priorWorkSet(o.Seed) {
-			results = append(results, runPolicy(cfg, p))
-		}
+		results := runPolicies(cfg, priorWorkSet(o.Seed))
 		cmp, err := metrics.Compare("FedAvg-Random", results)
 		if err != nil {
 			f.Notes = append(f.Notes, err.Error())
@@ -300,10 +294,7 @@ func Fig14PriorWorkStress(o Options) *Figure {
 	for _, tc := range cases {
 		cfg := baseConfig(o)
 		tc.mut(&cfg)
-		results := make([]*sim.Result, 0, 4)
-		for _, p := range priorWorkSet(o.Seed) {
-			results = append(results, runPolicy(cfg, p))
-		}
+		results := runPolicies(cfg, priorWorkSet(o.Seed))
 		cmp, err := metrics.Compare("FedAvg-Random", results)
 		if err != nil {
 			f.Notes = append(f.Notes, err.Error())

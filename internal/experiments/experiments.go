@@ -16,6 +16,7 @@ import (
 	"autofl/internal/metrics"
 	"autofl/internal/policy"
 	"autofl/internal/sim"
+	"autofl/internal/sweep"
 	"autofl/internal/workload"
 )
 
@@ -140,6 +141,24 @@ func baseConfig(o Options) sim.Config {
 // runPolicy executes one policy on a config.
 func runPolicy(cfg sim.Config, p sim.Policy) *sim.Result {
 	return sim.New(cfg).Run(p)
+}
+
+// runPolicies executes each policy on the config through the sweep
+// engine's worker pool. Results come back in policy order, and every
+// run constructs its own simulator from its own seed, so the figures
+// are identical to the former serial loops.
+func runPolicies(cfg sim.Config, ps []sim.Policy) []*sim.Result {
+	return sweep.Map(0, len(ps), func(i int) *sim.Result {
+		return runPolicy(cfg, ps[i])
+	})
+}
+
+// runConfigs executes ps[i] on cfgs[i] pairwise on the worker pool,
+// preserving config order.
+func runConfigs(cfgs []sim.Config, ps []sim.Policy) []*sim.Result {
+	return sweep.Map(0, len(cfgs), func(i int) *sim.Result {
+		return runPolicy(cfgs[i], ps[i])
+	})
 }
 
 // policySet builds the §5.1 policy lineup. AutoFL is constructed fresh

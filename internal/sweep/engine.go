@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome is the measurement a Runner produces for one cell. It
+// mirrors the headline fields of an autofl.Report (the traces are
+// dropped: sweeps aggregate scalars).
+type Outcome struct {
+	Converged       bool    `json:"converged"`
+	Rounds          int     `json:"rounds"`
+	TimeToTargetSec float64 `json:"time_to_target_sec"`
+	EnergyToTargetJ float64 `json:"energy_to_target_j"`
+	GlobalPPW       float64 `json:"global_ppw"`
+	LocalPPW        float64 `json:"local_ppw"`
+	FinalAccuracy   float64 `json:"final_accuracy"`
+}
+
+// Result is one executed cell: the cell, the seed it ran with, and
+// either its outcome or the error (or recovered panic) that stopped it.
+type Result struct {
+	Cell    Cell    `json:"cell"`
+	Seed    uint64  `json:"seed"`
+	Outcome Outcome `json:"outcome"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Runner executes one cell with its derived seed. Implementations must
+// be safe for concurrent use: the engine invokes one call per cell from
+// many goroutines.
+type Runner func(ctx context.Context, cell Cell, seed uint64) (Outcome, error)
+
+// Progress reports one completed cell to an Options.OnProgress
+// callback.
+type Progress struct {
+	// Done counts completed cells (including errored ones); Total is
+	// the grid size.
+	Done, Total int
+	// Result is the cell that just finished.
+	Result Result
+}
+
+// Options tune a sweep run.
+type Options struct {
+	// Parallel is the worker-pool size; values < 1 select GOMAXPROCS.
+	Parallel int
+	// OnProgress, when set, is invoked after each cell completes. Calls
+	// are serialized; completion order is nondeterministic under
+	// parallelism (the result *contents* are not).
+	OnProgress func(Progress)
+}
+
+// workers resolves the effective pool size.
+func (o Options) workers() int {
+	if o.Parallel < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// Run expands the grid and executes every cell through the runner on a
+// worker pool. It returns a store holding the results of all cells
+// that ran (all of them, unless ctx was canceled — then the partial
+// set — and the context's error is returned alongside).
+//
+// A panicking cell is isolated: the panic is recovered into that
+// cell's Result.Err and the sweep continues. Results are keyed by the
+// cell's position in the deterministic expansion, so the store's
+// sorted views are identical for any Parallel value.
+func Run(ctx context.Context, g Grid, run Runner, opts Options) (*ResultStore, error) {
+	cells := g.Cells()
+	results := make([]Result, len(cells))
+	executed := make([]bool, len(cells))
+	workers := opts.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var (
+		next int64 = -1
+		done int
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes OnProgress and guards done
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cells) || ctx.Err() != nil {
+					return
+				}
+				results[i] = runCell(ctx, g, cells[i], run)
+				executed[i] = true
+				if opts.OnProgress != nil {
+					mu.Lock()
+					done++
+					opts.OnProgress(Progress{Done: done, Total: len(cells), Result: results[i]})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	store := NewStore()
+	for i := range results {
+		if executed[i] {
+			store.Add(results[i])
+		}
+	}
+	return store, ctx.Err()
+}
+
+// runCell executes one cell, converting an error return or a panic
+// into the Result's Err field.
+func runCell(ctx context.Context, g Grid, c Cell, run Runner) (r Result) {
+	r = Result{Cell: c, Seed: g.CellSeed(c)}
+	defer func() {
+		if p := recover(); p != nil {
+			r.Outcome = Outcome{}
+			r.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	out, err := run(ctx, c, r.Seed)
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	r.Outcome = out
+	return r
+}
+
+// Map runs fn over the index range [0, n) on a worker pool of the
+// given size (values < 1 select GOMAXPROCS) and returns the results in
+// index order, so output is independent of scheduling. It is the
+// primitive the per-figure sweeps of internal/experiments submit their
+// cells through. A panic in fn aborts the remaining unclaimed work and
+// is re-raised on the caller's goroutine once in-flight calls drain.
+func Map[T any](parallel, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	workers := parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	out := make([]T, n)
+	var (
+		next    int64 = -1
+		aborted atomic.Bool
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || aborted.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							aborted.Store(true)
+							panicMu.Lock()
+							if panicV == nil {
+								panicV = p
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	return out
+}

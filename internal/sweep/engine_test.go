@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"autofl/internal/rng"
+)
+
+// fakeRunner produces a deterministic outcome from the cell seed alone,
+// standing in for a Scenario run.
+func fakeRunner(ctx context.Context, c Cell, seed uint64) (Outcome, error) {
+	s := rng.New(seed)
+	return Outcome{
+		Converged:       s.Bool(0.5),
+		Rounds:          1 + s.IntN(100),
+		TimeToTargetSec: 10 * s.Float64(),
+		EnergyToTargetJ: 100 * s.Float64(),
+		GlobalPPW:       s.Float64(),
+		LocalPPW:        s.Float64(),
+		FinalAccuracy:   s.Float64(),
+	}, nil
+}
+
+// TestRunParallelMatchesSerial is the engine's core guarantee: the
+// parallel run of a grid equals a -parallel=1 run cell for cell at the
+// same seed, down to identical exported bytes.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	g := testGrid()
+	serial, err := Run(context.Background(), g, fakeRunner, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), g, fakeRunner, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() != g.Size() || parallel.Len() != g.Size() {
+		t.Fatalf("lengths: serial %d, parallel %d, want %d", serial.Len(), parallel.Len(), g.Size())
+	}
+	var bs, bp bytes.Buffer
+	if err := serial.WriteJSON(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
+		t.Error("parallel JSON differs from serial JSON at the same grid seed")
+	}
+
+	var cs, cp bytes.Buffer
+	if err := serial.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cs.Bytes(), cp.Bytes()) {
+		t.Error("parallel CSV differs from serial CSV at the same grid seed")
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	g := testGrid()
+	run := func(ctx context.Context, c Cell, seed uint64) (Outcome, error) {
+		if c.Policy == "AutoFL" && c.Replicate == 1 {
+			panic("cell exploded")
+		}
+		return fakeRunner(ctx, c, seed)
+	}
+	store, err := Run(context.Background(), g, run, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != g.Size() {
+		t.Fatalf("panicking cells must still be recorded: got %d of %d", store.Len(), g.Size())
+	}
+	panicked := 0
+	for _, r := range store.Results() {
+		if r.Err != "" {
+			panicked++
+			if r.Err != "panic: cell exploded" {
+				t.Errorf("unexpected Err %q", r.Err)
+			}
+		}
+	}
+	if panicked != 4 { // 2 data × 2 envs hit the panicking (policy, replicate)
+		t.Errorf("panicked cells = %d, want 4", panicked)
+	}
+}
+
+func TestRunErrorRecorded(t *testing.T) {
+	g := Grid{Policies: []string{"nope"}, Seed: 1}
+	run := func(ctx context.Context, c Cell, seed uint64) (Outcome, error) {
+		return Outcome{}, errors.New("unknown policy")
+	}
+	store, err := Run(context.Background(), g, run, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := store.Results()
+	if len(rs) != 1 || rs[0].Err != "unknown policy" {
+		t.Fatalf("error not recorded: %+v", rs)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	g := testGrid() // 24 cells
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	var mu sync.Mutex
+	run := func(ctx context.Context, c Cell, seed uint64) (Outcome, error) {
+		mu.Lock()
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+		mu.Unlock()
+		return fakeRunner(ctx, c, seed)
+	}
+	store, err := Run(ctx, g, run, Options{Parallel: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if store.Len() >= g.Size() {
+		t.Errorf("cancellation did not stop the sweep: %d cells ran", store.Len())
+	}
+	if store.Len() == 0 {
+		t.Error("cells completed before cancellation must be kept")
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	g := testGrid()
+	var calls []Progress
+	_, err := Run(context.Background(), g, fakeRunner, Options{
+		Parallel:   4,
+		OnProgress: func(p Progress) { calls = append(calls, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != g.Size() {
+		t.Fatalf("progress calls = %d, want %d", len(calls), g.Size())
+	}
+	for i, p := range calls {
+		if p.Total != g.Size() {
+			t.Errorf("Total = %d, want %d", p.Total, g.Size())
+		}
+		if p.Done != i+1 {
+			t.Errorf("Done must increase monotonically across callbacks: call %d reported %d", i, p.Done)
+		}
+	}
+}
+
+func TestMapOrderAndParallelism(t *testing.T) {
+	for _, par := range []int{1, 4, 0} {
+		got := Map(par, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+	if Map(4, 0, func(i int) int { return i }) != nil {
+		t.Error("Map over an empty range must return nil")
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("Map swallowed the panic")
+		} else if fmt.Sprint(p) != "boom" {
+			t.Fatalf("unexpected panic %v", p)
+		}
+	}()
+	Map(4, 10, func(i int) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestMapPanicAbortsRemainingWork(t *testing.T) {
+	calls := 0
+	func() {
+		defer func() { recover() }()
+		Map(1, 100, func(i int) int {
+			calls++
+			if i == 3 {
+				panic("boom")
+			}
+			return i
+		})
+	}()
+	if calls != 4 {
+		t.Errorf("work after the panic must be abandoned: %d calls, want 4", calls)
+	}
+}

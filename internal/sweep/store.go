@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"autofl/internal/metrics"
+)
+
+// ResultStore collects cell results and aggregates replicate groups
+// into mean/stddev summaries. It is safe for concurrent Add calls; the
+// read-side views sort, so their output is independent of insertion
+// order (and therefore of worker scheduling).
+type ResultStore struct {
+	mu      sync.Mutex
+	results []Result
+}
+
+// NewStore returns an empty store.
+func NewStore() *ResultStore { return &ResultStore{} }
+
+// Add appends results to the store.
+func (s *ResultStore) Add(rs ...Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results = append(s.results, rs...)
+}
+
+// Len reports the number of stored results.
+func (s *ResultStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
+
+// Results returns the stored results sorted by cell (axes, then
+// replicate index).
+func (s *ResultStore) Results() []Result {
+	s.mu.Lock()
+	out := append([]Result(nil), s.results...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell.less(out[j].Cell) })
+	return out
+}
+
+// Stats is a mean/standard-deviation pair over a replicate group. The
+// deviation is the sample standard deviation (n-1 denominator); it is
+// zero for groups of one.
+type Stats struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+}
+
+// statsOf computes Stats over xs.
+func statsOf(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	m := metrics.Mean(xs)
+	if len(xs) == 1 {
+		return Stats{Mean: m}
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return Stats{Mean: m, Stddev: math.Sqrt(ss / float64(len(xs)-1))}
+}
+
+// Summary aggregates one replicate group (a cell minus its replicate
+// index): per-metric mean/stddev over the group's non-errored runs.
+type Summary struct {
+	Workload string `json:"workload"`
+	Setting  string `json:"setting"`
+	Data     string `json:"data"`
+	Env      string `json:"env"`
+	Policy   string `json:"policy"`
+	// Replicates counts the group's successful runs; Errors the
+	// failed (or panicked) ones.
+	Replicates int `json:"replicates"`
+	Errors     int `json:"errors,omitempty"`
+	// ConvergedFrac is the fraction of successful runs that reached
+	// the accuracy target.
+	ConvergedFrac   float64 `json:"converged_frac"`
+	Rounds          Stats   `json:"rounds"`
+	TimeToTargetSec Stats   `json:"time_to_target_sec"`
+	EnergyToTargetJ Stats   `json:"energy_to_target_j"`
+	GlobalPPW       Stats   `json:"global_ppw"`
+	LocalPPW        Stats   `json:"local_ppw"`
+	FinalAccuracy   Stats   `json:"final_accuracy"`
+}
+
+// Summaries aggregates the store's results by replicate group, sorted
+// by cell axes.
+func (s *ResultStore) Summaries() []Summary {
+	results := s.Results()
+	var out []Summary
+	for i := 0; i < len(results); {
+		j := i
+		for j < len(results) && sameGroup(results[j].Cell, results[i].Cell) {
+			j++
+		}
+		out = append(out, summarize(results[i:j]))
+		i = j
+	}
+	return out
+}
+
+// summarize folds one sorted replicate group into a Summary.
+func summarize(group []Result) Summary {
+	c := group[0].Cell
+	sum := Summary{
+		Workload: c.Workload, Setting: c.Setting, Data: c.Data,
+		Env: c.Env, Policy: c.Policy,
+	}
+	var rounds, timeTo, energy, gppw, lppw, acc []float64
+	converged := 0
+	for _, r := range group {
+		if r.Err != "" {
+			sum.Errors++
+			continue
+		}
+		sum.Replicates++
+		if r.Outcome.Converged {
+			converged++
+		}
+		rounds = append(rounds, float64(r.Outcome.Rounds))
+		timeTo = append(timeTo, r.Outcome.TimeToTargetSec)
+		energy = append(energy, r.Outcome.EnergyToTargetJ)
+		gppw = append(gppw, r.Outcome.GlobalPPW)
+		lppw = append(lppw, r.Outcome.LocalPPW)
+		acc = append(acc, r.Outcome.FinalAccuracy)
+	}
+	if sum.Replicates > 0 {
+		sum.ConvergedFrac = float64(converged) / float64(sum.Replicates)
+	}
+	sum.Rounds = statsOf(rounds)
+	sum.TimeToTargetSec = statsOf(timeTo)
+	sum.EnergyToTargetJ = statsOf(energy)
+	sum.GlobalPPW = statsOf(gppw)
+	sum.LocalPPW = statsOf(lppw)
+	sum.FinalAccuracy = statsOf(acc)
+	return sum
+}
+
+// export is the JSON document WriteJSON emits.
+type export struct {
+	Results   []Result  `json:"results"`
+	Summaries []Summary `json:"summaries"`
+}
+
+// WriteJSON writes the sorted results and their summaries as indented
+// JSON. The bytes are a pure function of the stored results: two
+// sweeps of the same grid and seed produce identical output whatever
+// their parallelism.
+func (s *ResultStore) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(export{Results: s.Results(), Summaries: s.Summaries()})
+}
+
+// csvHeader names the WriteCSV columns.
+var csvHeader = []string{
+	"workload", "setting", "data", "env", "policy",
+	"replicates", "errors", "converged_frac",
+	"rounds_mean", "rounds_stddev",
+	"time_to_target_sec_mean", "time_to_target_sec_stddev",
+	"energy_to_target_j_mean", "energy_to_target_j_stddev",
+	"global_ppw_mean", "global_ppw_stddev",
+	"local_ppw_mean", "local_ppw_stddev",
+	"final_accuracy_mean", "final_accuracy_stddev",
+}
+
+// WriteCSV writes one row per replicate-group summary.
+func (s *ResultStore) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, sum := range s.Summaries() {
+		row := []string{
+			sum.Workload, sum.Setting, sum.Data, sum.Env, sum.Policy,
+			strconv.Itoa(sum.Replicates), strconv.Itoa(sum.Errors), f(sum.ConvergedFrac),
+			f(sum.Rounds.Mean), f(sum.Rounds.Stddev),
+			f(sum.TimeToTargetSec.Mean), f(sum.TimeToTargetSec.Stddev),
+			f(sum.EnergyToTargetJ.Mean), f(sum.EnergyToTargetJ.Stddev),
+			f(sum.GlobalPPW.Mean), f(sum.GlobalPPW.Stddev),
+			f(sum.LocalPPW.Mean), f(sum.LocalPPW.Stddev),
+			f(sum.FinalAccuracy.Mean), f(sum.FinalAccuracy.Stddev),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func cellR(policy string, rep int) Cell {
+	return Cell{Workload: "w", Setting: "s", Data: "d", Env: "e", Policy: policy, Replicate: rep}
+}
+
+func TestSummariesMeanStddev(t *testing.T) {
+	s := NewStore()
+	// Three replicates with GlobalPPW 1, 2, 3 → mean 2, sample stddev 1.
+	for i, ppw := range []float64{1, 2, 3} {
+		s.Add(Result{Cell: cellR("A", i), Outcome: Outcome{
+			GlobalPPW: ppw, Rounds: 10 * (i + 1), Converged: i > 0,
+		}})
+	}
+	sums := s.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1", len(sums))
+	}
+	sum := sums[0]
+	if sum.Replicates != 3 || sum.Errors != 0 {
+		t.Errorf("replicates/errors = %d/%d, want 3/0", sum.Replicates, sum.Errors)
+	}
+	if sum.GlobalPPW.Mean != 2 {
+		t.Errorf("GlobalPPW mean = %g, want 2", sum.GlobalPPW.Mean)
+	}
+	if math.Abs(sum.GlobalPPW.Stddev-1) > 1e-12 {
+		t.Errorf("GlobalPPW stddev = %g, want 1", sum.GlobalPPW.Stddev)
+	}
+	if sum.Rounds.Mean != 20 {
+		t.Errorf("Rounds mean = %g, want 20", sum.Rounds.Mean)
+	}
+	if math.Abs(sum.ConvergedFrac-2.0/3.0) > 1e-12 {
+		t.Errorf("ConvergedFrac = %g, want 2/3", sum.ConvergedFrac)
+	}
+}
+
+func TestSummariesSingleReplicateZeroStddev(t *testing.T) {
+	s := NewStore()
+	s.Add(Result{Cell: cellR("A", 0), Outcome: Outcome{GlobalPPW: 1.5}})
+	sum := s.Summaries()[0]
+	if sum.GlobalPPW.Stddev != 0 {
+		t.Errorf("single replicate stddev = %g, want 0", sum.GlobalPPW.Stddev)
+	}
+}
+
+func TestSummariesSkipErroredRuns(t *testing.T) {
+	s := NewStore()
+	s.Add(
+		Result{Cell: cellR("A", 0), Outcome: Outcome{GlobalPPW: 4}},
+		Result{Cell: cellR("A", 1), Err: "panic: boom"},
+	)
+	sum := s.Summaries()[0]
+	if sum.Replicates != 1 || sum.Errors != 1 {
+		t.Fatalf("replicates/errors = %d/%d, want 1/1", sum.Replicates, sum.Errors)
+	}
+	if sum.GlobalPPW.Mean != 4 {
+		t.Errorf("errored run leaked into the mean: %g", sum.GlobalPPW.Mean)
+	}
+}
+
+func TestResultsSortedRegardlessOfAddOrder(t *testing.T) {
+	a := NewStore()
+	b := NewStore()
+	rs := []Result{
+		{Cell: cellR("B", 1)}, {Cell: cellR("A", 10)},
+		{Cell: cellR("A", 2)}, {Cell: cellR("B", 0)},
+	}
+	for _, r := range rs {
+		a.Add(r)
+	}
+	for i := len(rs) - 1; i >= 0; i-- {
+		b.Add(rs[i])
+	}
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Error("JSON depends on insertion order")
+	}
+	got := a.Results()
+	if got[0].Cell != cellR("A", 2) || got[1].Cell != cellR("A", 10) ||
+		got[2].Cell != cellR("B", 0) || got[3].Cell != cellR("B", 1) {
+		t.Errorf("bad sort order: %+v", got)
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	s := NewStore()
+	s.Add(Result{Cell: cellR("A", 0), Seed: 7, Outcome: Outcome{Rounds: 5}})
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results   []Result  `json:"results"`
+		Summaries []Summary `json:"summaries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.Results) != 1 || len(doc.Summaries) != 1 {
+		t.Fatalf("results/summaries = %d/%d, want 1/1", len(doc.Results), len(doc.Summaries))
+	}
+	if doc.Results[0].Seed != 7 || doc.Results[0].Outcome.Rounds != 5 {
+		t.Errorf("round-trip mismatch: %+v", doc.Results[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := NewStore()
+	s.Add(
+		Result{Cell: cellR("A", 0), Outcome: Outcome{GlobalPPW: 1}},
+		Result{Cell: cellR("A", 1), Outcome: Outcome{GlobalPPW: 3}},
+		Result{Cell: cellR("B", 0), Outcome: Outcome{GlobalPPW: 2}},
+	)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 groups
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if len(rows[0]) != len(csvHeader) {
+		t.Fatalf("header width = %d, want %d", len(rows[0]), len(csvHeader))
+	}
+	if rows[1][4] != "A" || rows[2][4] != "B" {
+		t.Errorf("groups out of order: %v / %v", rows[1], rows[2])
+	}
+	if rows[1][14] != "2" { // global_ppw_mean of group A
+		t.Errorf("global_ppw_mean = %q, want 2", rows[1][14])
+	}
+}

@@ -1,0 +1,152 @@
+// Package sweep is the experiment-orchestration engine of the AutoFL
+// reproduction: it expands a declarative Grid of scenario axes
+// (workloads × settings × data scenarios × environments × policies ×
+// seed replicates) into cells and executes them on a worker pool, with
+// per-cell deterministic seeding, panic isolation, context
+// cancellation, and progress reporting.
+//
+// The engine is deliberately independent of how a cell is executed: a
+// Runner maps one Cell (plus its derived seed) to an Outcome, so the
+// same machinery drives full paper-scale evaluations (cmd/autofl-sweep
+// via the root package's SweepRunner), the per-figure sweeps of
+// internal/experiments, and reduced-scale benchmarks.
+//
+// Determinism is the design center. Every cell's seed is a pure
+// function of the grid seed and the cell's key, so a run parallelized
+// across GOMAXPROCS workers produces byte-identical sorted output to a
+// -parallel=1 run of the same grid.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"autofl/internal/rng"
+)
+
+// Cell is one point of an expanded Grid: a concrete scenario plus a
+// replicate index. Axis values are the public string names of the root
+// autofl package (empty string selects that axis's default scenario
+// value).
+type Cell struct {
+	Workload  string `json:"workload"`
+	Setting   string `json:"setting"`
+	Data      string `json:"data"`
+	Env       string `json:"env"`
+	Policy    string `json:"policy"`
+	Replicate int    `json:"replicate"`
+}
+
+// Key renders the cell for display and logs. Seed derivation uses the
+// injective field encoding of CellSeed instead, so axis values that
+// happen to contain the separators cannot collide.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s#%d",
+		c.Workload, c.Setting, c.Data, c.Env, c.Policy, c.Replicate)
+}
+
+// sameGroup reports whether two cells are replicates of the same
+// scenario. Summaries aggregate over it.
+func sameGroup(a, b Cell) bool {
+	return a.Workload == b.Workload && a.Setting == b.Setting &&
+		a.Data == b.Data && a.Env == b.Env && a.Policy == b.Policy
+}
+
+// less orders cells by axis values with the replicate compared
+// numerically, so sorted output is stable for any replicate count.
+func (c Cell) less(o Cell) bool {
+	if c.Workload != o.Workload {
+		return c.Workload < o.Workload
+	}
+	if c.Setting != o.Setting {
+		return c.Setting < o.Setting
+	}
+	if c.Data != o.Data {
+		return c.Data < o.Data
+	}
+	if c.Env != o.Env {
+		return c.Env < o.Env
+	}
+	if c.Policy != o.Policy {
+		return c.Policy < o.Policy
+	}
+	return c.Replicate < o.Replicate
+}
+
+// Grid declares an experiment sweep: the cross product of the axis
+// value sets, replicated Replicates times. An empty axis contributes a
+// single empty value, which Runners interpret as that axis's default.
+type Grid struct {
+	Workloads  []string
+	Settings   []string
+	Data       []string
+	Envs       []string
+	Policies   []string
+	Replicates int
+	// Seed is the grid master seed every cell seed derives from.
+	Seed uint64
+}
+
+// axisOrDefault substitutes the single-default axis for an empty set.
+func axisOrDefault(vals []string) []string {
+	if len(vals) == 0 {
+		return []string{""}
+	}
+	return vals
+}
+
+// replicates returns the effective replicate count (at least 1).
+func (g Grid) replicates() int {
+	if g.Replicates < 1 {
+		return 1
+	}
+	return g.Replicates
+}
+
+// Size is the number of cells the grid expands to.
+func (g Grid) Size() int {
+	n := len(axisOrDefault(g.Workloads)) *
+		len(axisOrDefault(g.Settings)) *
+		len(axisOrDefault(g.Data)) *
+		len(axisOrDefault(g.Envs)) *
+		len(axisOrDefault(g.Policies))
+	return n * g.replicates()
+}
+
+// Cells expands the grid in deterministic order: workloads, settings,
+// data, environments, policies, replicates — the slowest axis first.
+func (g Grid) Cells() []Cell {
+	out := make([]Cell, 0, g.Size())
+	for _, w := range axisOrDefault(g.Workloads) {
+		for _, s := range axisOrDefault(g.Settings) {
+			for _, d := range axisOrDefault(g.Data) {
+				for _, e := range axisOrDefault(g.Envs) {
+					for _, p := range axisOrDefault(g.Policies) {
+						for r := 0; r < g.replicates(); r++ {
+							out = append(out, Cell{
+								Workload: w, Setting: s, Data: d,
+								Env: e, Policy: p, Replicate: r,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CellSeed derives the cell's seed from the grid seed and the cell's
+// identity. The fields are hashed length-prefixed (FNV-1a) — an
+// injective encoding, so no two distinct cells share a seed whatever
+// characters their axis values contain — and mixed with the grid seed
+// through an rng.Stream draw, decorrelating the seeds of adjacent
+// cells independently of expansion order or worker scheduling.
+func (g Grid) CellSeed(c Cell) uint64 {
+	h := fnv.New64a()
+	for _, f := range []string{c.Workload, c.Setting, c.Data, c.Env, c.Policy} {
+		fmt.Fprintf(h, "%d:%s|", len(f), f)
+	}
+	fmt.Fprintf(h, "#%d", c.Replicate)
+	return rng.New(g.Seed ^ h.Sum64()).Uint64()
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"testing"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Workloads:  []string{"CNN-MNIST"},
+		Settings:   []string{"S3"},
+		Data:       []string{"iid", "noniid50"},
+		Envs:       []string{"ideal", "field"},
+		Policies:   []string{"FedAvg-Random", "AutoFL"},
+		Replicates: 3,
+		Seed:       42,
+	}
+}
+
+func TestGridSizeAndExpansion(t *testing.T) {
+	g := testGrid()
+	want := 1 * 1 * 2 * 2 * 2 * 3
+	if g.Size() != want {
+		t.Fatalf("Size = %d, want %d", g.Size(), want)
+	}
+	cells := g.Cells()
+	if len(cells) != want {
+		t.Fatalf("len(Cells) = %d, want %d", len(cells), want)
+	}
+	// Expansion order is deterministic: policies vary faster than envs,
+	// replicates fastest of all.
+	if cells[0].Replicate != 0 || cells[1].Replicate != 1 || cells[2].Replicate != 2 {
+		t.Errorf("replicates not innermost: %+v", cells[:3])
+	}
+	if cells[0].Policy != "FedAvg-Random" || cells[3].Policy != "AutoFL" {
+		t.Errorf("policy not second-innermost: %+v %+v", cells[0], cells[3])
+	}
+	// Keys are unique.
+	seen := map[string]bool{}
+	for _, c := range cells {
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("duplicate cell key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGridEmptyAxesDefault(t *testing.T) {
+	g := Grid{Policies: []string{"AutoFL"}}
+	cells := g.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("len(Cells) = %d, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Workload != "" || c.Setting != "" || c.Data != "" || c.Env != "" {
+		t.Errorf("empty axes should expand to the default value: %+v", c)
+	}
+	if g.Size() != 1 {
+		t.Errorf("Size = %d, want 1", g.Size())
+	}
+}
+
+func TestCellSeedDeterministicAndDistinct(t *testing.T) {
+	g := testGrid()
+	cells := g.Cells()
+	seeds := map[uint64]string{}
+	for _, c := range cells {
+		s1, s2 := g.CellSeed(c), g.CellSeed(c)
+		if s1 != s2 {
+			t.Fatalf("CellSeed(%v) not deterministic: %d vs %d", c, s1, s2)
+		}
+		if prev, dup := seeds[s1]; dup {
+			t.Fatalf("seed collision between %q and %q", prev, c.Key())
+		}
+		seeds[s1] = c.Key()
+	}
+	// A different grid seed moves every cell seed.
+	g2 := testGrid()
+	g2.Seed = 43
+	if g.CellSeed(cells[0]) == g2.CellSeed(cells[0]) {
+		t.Error("cell seed did not change with the grid seed")
+	}
+}
+
+func TestCellSeedInjectiveAcrossFieldBoundaries(t *testing.T) {
+	// Axis values containing the display separators must not collide:
+	// the seed encoding is length-prefixed, not separator-joined.
+	g := Grid{Seed: 7}
+	a := Cell{Workload: "a/b", Setting: "c"}
+	b := Cell{Workload: "a", Setting: "b/c"}
+	if g.CellSeed(a) == g.CellSeed(b) {
+		t.Error("field-boundary shift produced a seed collision")
+	}
+	c := Cell{Policy: "p#1", Replicate: 0}
+	d := Cell{Policy: "p", Replicate: 10}
+	if g.CellSeed(c) == g.CellSeed(d) {
+		t.Error("policy/replicate boundary produced a seed collision")
+	}
+}
+
+func TestCellOrdering(t *testing.T) {
+	a := Cell{Workload: "w", Policy: "p", Replicate: 2}
+	b := Cell{Workload: "w", Policy: "p", Replicate: 10}
+	if !a.less(b) || b.less(a) {
+		t.Error("replicates must order numerically (2 < 10)")
+	}
+	c := Cell{Workload: "a"}
+	d := Cell{Workload: "b"}
+	if !c.less(d) {
+		t.Error("workloads must order lexically")
+	}
+}

@@ -1,0 +1,73 @@
+package autofl
+
+import (
+	"context"
+
+	"autofl/internal/sweep"
+)
+
+// SweepGrid declares the paper's full evaluation grid — every
+// workload, Table 5 setting, data scenario, variance environment, and
+// §5.1/§6.3 policy — replicated the given number of times. Callers
+// narrow the axes before running when they want a slice of it.
+func SweepGrid(seed uint64, replicates int) sweep.Grid {
+	g := sweep.Grid{Seed: seed, Replicates: replicates}
+	for _, w := range Workloads() {
+		g.Workloads = append(g.Workloads, string(w))
+	}
+	for _, s := range Settings() {
+		g.Settings = append(g.Settings, string(s))
+	}
+	for _, d := range DataScenarios() {
+		g.Data = append(g.Data, string(d))
+	}
+	for _, e := range Environments() {
+		g.Envs = append(g.Envs, string(e))
+	}
+	for _, p := range Policies() {
+		g.Policies = append(g.Policies, string(p))
+	}
+	return g
+}
+
+// SweepRunner adapts Scenario.Run to the sweep engine: each cell's
+// axis names select the scenario, the engine-derived seed replaces the
+// scenario seed, and the report's headline metrics become the cell
+// outcome. maxRounds bounds every run (0 selects the paper's
+// 1000-round horizon). The returned runner is safe for concurrent use:
+// every call constructs its own scenario, policy, and simulator.
+func SweepRunner(maxRounds int) sweep.Runner {
+	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		if err := ctx.Err(); err != nil {
+			return sweep.Outcome{}, err
+		}
+		s := Scenario{
+			Workload:  Workload(c.Workload),
+			Setting:   Setting(c.Setting),
+			Data:      DataScenario(c.Data),
+			Env:       Environment(c.Env),
+			Seed:      seed,
+			MaxRounds: maxRounds,
+		}
+		r, err := s.Run(Policy(c.Policy))
+		if err != nil {
+			return sweep.Outcome{}, err
+		}
+		return sweep.Outcome{
+			Converged:       r.Converged,
+			Rounds:          r.Rounds,
+			TimeToTargetSec: r.TimeToTargetSec,
+			EnergyToTargetJ: r.EnergyToTargetJ,
+			GlobalPPW:       r.GlobalPPW,
+			LocalPPW:        r.LocalPPW,
+			FinalAccuracy:   r.FinalAccuracy,
+		}, nil
+	}
+}
+
+// RunSweep executes the grid through Scenario.Run on a worker pool
+// (see sweep.Run for the execution contract). It is the programmatic
+// face of cmd/autofl-sweep.
+func RunSweep(ctx context.Context, g sweep.Grid, maxRounds int, opts sweep.Options) (*sweep.ResultStore, error) {
+	return sweep.Run(ctx, g, SweepRunner(maxRounds), opts)
+}

@@ -1,0 +1,81 @@
+package autofl
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"autofl/internal/sweep"
+)
+
+// smallGrid is a fast slice of the evaluation grid for end-to-end
+// tests: 2 envs × 2 policies on CNN-MNIST/S3/IID.
+func smallGrid(seed uint64) sweep.Grid {
+	return sweep.Grid{
+		Workloads: []string{string(CNNMNIST)},
+		Settings:  []string{string(S3)},
+		Data:      []string{string(IdealIID)},
+		Envs:      []string{string(EnvIdeal), string(EnvField)},
+		Policies:  []string{string(PolicyRandom), string(PolicyPerformance)},
+		Seed:      seed,
+	}
+}
+
+// TestRunSweepDeterminism checks the acceptance bar end to end: a
+// parallel sweep over real Scenario runs emits byte-identical sorted
+// JSON to a -parallel=1 sweep at the same grid seed.
+func TestRunSweepDeterminism(t *testing.T) {
+	g := smallGrid(42)
+	const rounds = 25
+	serial, err := RunSweep(context.Background(), g, rounds, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(context.Background(), g, rounds, sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs, bp bytes.Buffer
+	if err := serial.WriteJSON(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
+		t.Error("parallel sweep JSON differs from serial at the same seed")
+	}
+	for _, r := range serial.Results() {
+		if r.Err != "" {
+			t.Errorf("cell %s failed: %s", r.Cell.Key(), r.Err)
+		}
+		if r.Outcome.Rounds == 0 {
+			t.Errorf("cell %s ran no rounds", r.Cell.Key())
+		}
+	}
+}
+
+// TestSweepGridCoversEveryAxis pins the full grid to the public axis
+// lists.
+func TestSweepGridCoversEveryAxis(t *testing.T) {
+	g := SweepGrid(1, 2)
+	want := len(Workloads()) * len(Settings()) * len(DataScenarios()) *
+		len(Environments()) * len(Policies()) * 2
+	if g.Size() != want {
+		t.Fatalf("Size = %d, want %d", g.Size(), want)
+	}
+}
+
+// TestSweepRunnerUnknownAxis checks that a bad cell surfaces as a cell
+// error, not a sweep failure.
+func TestSweepRunnerUnknownAxis(t *testing.T) {
+	g := sweep.Grid{Policies: []string{"NoSuchPolicy"}, Seed: 3}
+	store, err := RunSweep(context.Background(), g, 5, sweep.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := store.Results()
+	if len(rs) != 1 || rs[0].Err == "" {
+		t.Fatalf("unknown policy must produce a cell error: %+v", rs)
+	}
+}
