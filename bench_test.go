@@ -20,6 +20,7 @@ import (
 	"autofl/internal/rng"
 	"autofl/internal/sim"
 	"autofl/internal/sweep"
+	"autofl/internal/sweep/cache"
 	"autofl/internal/workload"
 )
 
@@ -299,6 +300,15 @@ func benchSweep(b *testing.B, parallel int) {
 			b.Fatalf("sweep ran %d of %d cells", store.Len(), g.Size())
 		}
 	}
+	reportCellsPerSec(b, benchSweepGrid(1).Size())
+}
+
+// reportCellsPerSec converts elapsed wall-clock into the sweep
+// engine's throughput unit, cells completed per second.
+func reportCellsPerSec(b *testing.B, cellsPerOp int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(cellsPerOp*b.N)/s, "cells/sec")
+	}
 }
 
 // BenchmarkSweepSerial — E18: the policy×environment sweep on one
@@ -307,8 +317,54 @@ func benchSweep(b *testing.B, parallel int) {
 func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 
 // BenchmarkSweepParallel — E18: the same sweep on GOMAXPROCS workers;
-// the serial/parallel ratio is the engine's speedup on this machine.
+// the parallel/serial cells-per-second ratio is the engine's speedup
+// on this machine.
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSweepWarmCache — E18: the same sweep resumed against a
+// fully populated result cache. Each iteration reopens the cache
+// (reloading its JSONL store) and runs the grid, executing zero cells;
+// the warm/cold cells-per-second ratio is the resume speedup.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	b.ReportAllocs()
+	g := benchSweepGrid(1)
+	sig := cache.Signature{GridSeed: g.Seed, Rounds: 60}
+	dir := b.TempDir()
+	run := benchSweepRunner()
+
+	warm, err := cache.Open(dir, sig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sweep.Run(context.Background(), g, warm.Runner(run), sweep.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := cache.Open(dir, sig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := sweep.Run(context.Background(), g, c.Runner(run), sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if store.Len() != g.Size() {
+			b.Fatalf("sweep ran %d of %d cells", store.Len(), g.Size())
+		}
+		if s := c.Stats(); s.Misses != 0 {
+			b.Fatalf("warm cache missed %d cells", s.Misses)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCellsPerSec(b, g.Size())
+}
 
 // BenchmarkOracleSelect isolates the OFL oracle's per-round search.
 func BenchmarkOracleSelect(b *testing.B) {

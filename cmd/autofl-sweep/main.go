@@ -16,6 +16,16 @@
 //	autofl-sweep -workloads CNN-MNIST -envs field \
 //	    -policies FedAvg-Random,AutoFL -replicates 3 \
 //	    -rounds 200 -format csv -out sweep.csv
+//
+// With -cache-dir, every completed cell is persisted, so an
+// interrupted run resumes where it stopped and an extended grid
+// executes only its new cells; -resume=false re-runs everything while
+// refreshing the cache. -schedule cost claims the costliest pending
+// cells first (output is byte-identical either way):
+//
+//	autofl-sweep -cache-dir sweep.cache -rounds 200 -out grid.json
+//	autofl-sweep -cache-dir sweep.cache -rounds 200 \
+//	    -replicates 2 -out grid2.json   # only the new replicate runs
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 
 	"autofl"
 	"autofl/internal/sweep"
+	"autofl/internal/sweep/cache"
 )
 
 func main() {
@@ -47,6 +58,9 @@ func main() {
 		format     = flag.String("format", "json", "output format: json or csv")
 		progress   = flag.Bool("progress", false, "print per-cell progress to stderr")
 		list       = flag.Bool("list", false, "list axis values and exit")
+		cacheDir   = flag.String("cache-dir", "", "persistent result cache directory (empty = no cache)")
+		resume     = flag.Bool("resume", true, "serve cells already in -cache-dir instead of re-running them")
+		sched      = flag.String("schedule", "cost", "cell claim order: cost (longest predicted first) or fifo")
 	)
 	flag.Parse()
 
@@ -56,6 +70,9 @@ func main() {
 	}
 	if *format != "json" && *format != "csv" {
 		fatalf("unknown -format %q (want json or csv)", *format)
+	}
+	if *sched != "cost" && *sched != "fifo" {
+		fatalf("unknown -schedule %q (want cost or fifo)", *sched)
 	}
 
 	full := autofl.SweepGrid(*seed, *replicates)
@@ -88,9 +105,13 @@ func main() {
 		stop()
 	}()
 
-	opts := sweep.Options{Parallel: *parallel}
+	runOpts := autofl.SweepOptions{
+		MaxRounds:    *rounds,
+		CostSchedule: *sched == "cost",
+	}
+	runOpts.Parallel = *parallel
 	if *progress {
-		opts.OnProgress = func(p sweep.Progress) {
+		runOpts.OnProgress = func(p sweep.Progress) {
 			status := "ok"
 			if p.Result.Err != "" {
 				status = "ERR " + p.Result.Err
@@ -99,15 +120,44 @@ func main() {
 				p.Done, p.Total, p.Result.Cell.Key(), status)
 		}
 	}
+	if *cacheDir != "" {
+		c, cerr := cache.Open(*cacheDir, autofl.SweepSignature(grid, *rounds))
+		if cerr != nil {
+			fatalf("%v", cerr)
+		}
+		if !*resume {
+			if cerr := c.Invalidate(); cerr != nil {
+				fatalf("%v", cerr)
+			}
+		}
+		runOpts.Cache = c
+	}
+	// Closed explicitly, not deferred: the error paths below exit via
+	// os.Exit, and a swallowed append error (e.g. disk full) must still
+	// reach the user — it means resume will re-execute those cells.
+	closeCache := func() {
+		if runOpts.Cache == nil {
+			return
+		}
+		if cerr := runOpts.Cache.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "autofl-sweep: cache: %v\n", cerr)
+		}
+		runOpts.Cache = nil
+	}
 
 	start := time.Now()
-	store, err := autofl.RunSweep(ctx, grid, *rounds, opts)
+	store, err := autofl.RunSweepWith(ctx, grid, runOpts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autofl-sweep: interrupted after %d of %d cells: %v\n",
 			store.Len(), grid.Size(), err)
 	}
 	if *progress {
-		fmt.Fprintf(os.Stderr, "%d cells in %s\n", store.Len(), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%d cells in %s", store.Len(), time.Since(start).Round(time.Millisecond))
+		if runOpts.Cache != nil {
+			s := runOpts.Cache.Stats()
+			fmt.Fprintf(os.Stderr, " (%d cached, %d executed)", s.Hits, s.Misses)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 
 	var werr error
@@ -116,6 +166,7 @@ func main() {
 	} else {
 		werr = store.WriteJSON(w)
 	}
+	closeCache()
 	if werr != nil {
 		fatalf("writing %s: %v", *format, werr)
 	}

@@ -17,6 +17,7 @@ import (
 	"autofl/internal/policy"
 	"autofl/internal/sim"
 	"autofl/internal/sweep"
+	"autofl/internal/sweep/schedule"
 	"autofl/internal/workload"
 )
 
@@ -154,9 +155,16 @@ func runPolicies(cfg sim.Config, ps []sim.Policy) []*sim.Result {
 }
 
 // runConfigs executes ps[i] on cfgs[i] pairwise on the worker pool,
-// preserving config order.
+// claiming the costliest configurations first (workload FLOPs ×
+// horizon, via the sweep scheduler's static model) so a mixed-workload
+// figure doesn't leave its MobileNet runs for last. Results come back
+// in config order regardless of claim order.
 func runConfigs(cfgs []sim.Config, ps []sim.Policy) []*sim.Result {
-	return sweep.Map(0, len(cfgs), func(i int) *sim.Result {
+	model := schedule.Static()
+	order := schedule.Order(len(cfgs), func(i int) float64 {
+		return model.Predict(cfgs[i].Workload.Name, cfgs[i].MaxRounds)
+	})
+	return sweep.MapOrder(0, len(cfgs), order, func(i int) *sim.Result {
 		return runPolicy(cfgs[i], ps[i])
 	})
 }

@@ -1,0 +1,347 @@
+// Package cache is the persistent result store of the sweep engine: a
+// content-addressed, on-disk cache that lets an interrupted or extended
+// grid resume without re-running finished cells.
+//
+// Every completed cell is keyed by an injective digest of the run
+// signature (grid master seed, round horizon) and the cell's identity
+// (axis values plus replicate index), so a cache populated by one grid
+// serves any later grid that shares those — a rerun of a finished grid
+// executes nothing, and extending an axis by one value executes only
+// the new cells. Changing the grid seed, the round horizon, or any
+// axis value of a cell changes its digest, which is the cache's
+// invalidation rule: stale entries are simply never looked up, and a
+// manifest mismatch on open truncates the store outright.
+//
+// The on-disk format is a manifest (format version + signature) plus
+// append-only JSONL, one entry per completed cell. Appends are single
+// O_APPEND writes, so concurrent Cache handles on one directory
+// interleave whole lines; a torn final line from a crash is skipped on
+// the next load. Because encoding/json round-trips float64 exactly, a
+// Result served from the cache is byte-identical in exported JSON/CSV
+// to the fresh run that produced it.
+//
+// Entries also record the cell's measured wall-clock, which
+// internal/sweep/schedule consumes to calibrate its cost model.
+package cache
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"autofl/internal/sweep"
+)
+
+// formatVersion gates the on-disk layout; bump it to orphan old caches.
+const formatVersion = 1
+
+const (
+	manifestName = "manifest.json"
+	resultsName  = "results.jsonl"
+)
+
+// Signature identifies one reproducible sweep configuration: every
+// cell digest is derived from it, so caches never serve results across
+// grid seeds or round horizons. Callers should normalize Rounds to the
+// effective horizon (the root package maps 0 to the paper's 1000)
+// before opening, so "default" and "explicit 1000" share entries.
+type Signature struct {
+	GridSeed uint64 `json:"grid_seed"`
+	Rounds   int    `json:"rounds"`
+}
+
+// CellDigest is the injective content address of one cell under the
+// signature: SHA-256 over the signature header plus the cell's
+// WriteIdentity encoding (the same bytes Grid.CellSeed hashes), so no
+// two distinct (signature, cell) pairs collide whatever their axis
+// values contain.
+func (s Signature) CellDigest(c sweep.Cell) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "autofl-sweep-cache/v%d\n%d\n%d\n", formatVersion, s.GridSeed, s.Rounds)
+	c.WriteIdentity(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// manifest is the on-disk header pinning a cache directory to one
+// format version and signature.
+type manifest struct {
+	Version   int       `json:"version"`
+	Signature Signature `json:"signature"`
+}
+
+// Entry is one cached cell: its digest, the result it produced, and
+// the wall-clock the execution took (the scheduler's calibration
+// signal).
+type Entry struct {
+	Digest      string       `json:"digest"`
+	Result      sweep.Result `json:"result"`
+	WallSeconds float64      `json:"wall_seconds"`
+}
+
+// Stats counts how a sweep interacted with the cache.
+type Stats struct {
+	// Hits is the number of cells served from the cache; Misses the
+	// number executed (and, when successful, recorded).
+	Hits, Misses int
+}
+
+// Cache is a persistent cell-result store bound to one directory and
+// signature. It is safe for concurrent use by the engine's worker
+// pool, and multiple Cache handles (even in different processes) may
+// share a directory: appends are whole-line atomic, and a handle that
+// misses a cell another handle wrote merely re-executes it — with
+// identical output, by the engine's determinism guarantee.
+type Cache struct {
+	dir string
+	sig Signature
+
+	mu       sync.Mutex
+	entries  map[string]Entry
+	f        *os.File
+	stats    Stats
+	writeErr error
+}
+
+// Open binds a cache directory to the signature, creating it if
+// needed. An existing directory whose manifest matches the signature
+// keeps its entries; a version or signature mismatch invalidates the
+// store (the manifest is rewritten and all entries dropped). Torn or
+// corrupt JSONL lines — e.g. from a crash mid-append — and entries
+// whose digest does not recompute from their recorded cell are
+// skipped, not fatal.
+func Open(dir string, sig Signature) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c := &Cache{dir: dir, sig: sig, entries: make(map[string]Entry)}
+
+	keep := false
+	if raw, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		var m manifest
+		if json.Unmarshal(raw, &m) == nil && m.Version == formatVersion && m.Signature == sig {
+			keep = true
+		}
+	}
+	if keep {
+		if err := c.load(); err != nil {
+			return nil, err
+		}
+	} else if err := c.reset(); err != nil {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, resultsName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// load reads the JSONL store into memory, skipping unreadable lines
+// and digest mismatches. Later duplicates of a digest win, matching
+// append order.
+func (c *Cache) load() error {
+	f, err := os.Open(filepath.Join(c.dir, resultsName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var e Entry
+		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			continue // torn or corrupt line
+		}
+		if e.Digest != c.sig.CellDigest(e.Result.Cell) {
+			continue // foreign signature or tampered entry
+		}
+		c.entries[e.Digest] = e
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// A newline-free garbage run (e.g. disk corruption) past the
+			// line budget: keep what loaded — the missing cells simply
+			// re-execute — rather than bricking the cache.
+			return nil
+		}
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// reset writes a fresh manifest for the signature (atomically, via
+// temp file + rename) and truncates the entry store.
+func (c *Cache) reset() error {
+	raw, err := json.Marshal(manifest{Version: formatVersion, Signature: c.sig})
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, manifestName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, manifestName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(c.dir, resultsName), nil, 0o644); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Invalidate drops every entry, on disk and in memory. The handle
+// stays usable; cmd/autofl-sweep uses it for -resume=false, which
+// re-executes the whole grid while refreshing the cache.
+func (c *Cache) Invalidate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]Entry)
+	if c.f != nil {
+		if err := c.f.Truncate(0); err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+	}
+	return nil
+}
+
+// Signature returns the signature the cache was opened with.
+func (c *Cache) Signature() Signature { return c.sig }
+
+// Len reports the number of cached cells.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Has reports whether the cell's result is cached. It does not count
+// toward Stats — only Runner lookups do.
+func (c *Cache) Has(cell sweep.Cell) bool {
+	d := c.sig.CellDigest(cell)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[d]
+	return ok
+}
+
+// Get returns the cached result for the cell, if present.
+func (c *Cache) Get(cell sweep.Cell) (sweep.Result, bool) {
+	d := c.sig.CellDigest(cell)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[d]
+	return e.Result, ok
+}
+
+// Put records a completed cell and its measured wall-clock, appending
+// one JSONL line. Errored results are not cached — a failed cell is
+// re-executed on resume so transient faults don't stick. Put is
+// idempotent per digest (a duplicate overwrites with equal content).
+func (c *Cache) Put(r sweep.Result, wallSeconds float64) error {
+	if r.Err != "" {
+		return nil
+	}
+	e := Entry{Digest: c.sig.CellDigest(r.Cell), Result: r, WallSeconds: wallSeconds}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// One write call under O_APPEND keeps concurrent handles whole-line
+	// atomic on POSIX filesystems.
+	if _, err := c.f.Write(line); err != nil {
+		c.writeErr = fmt.Errorf("cache: %w", err)
+		return c.writeErr
+	}
+	c.entries[e.Digest] = e
+	return nil
+}
+
+// Runner wraps a sweep.Runner with the cache: hits are served without
+// executing, misses execute and record the result with its wall-clock.
+// The wrapped runner inherits the inner runner's concurrency safety. A
+// failed append does not fail the cell (the computed outcome is still
+// correct); the first such error is surfaced by Close.
+func (c *Cache) Runner(run sweep.Runner) sweep.Runner {
+	return func(ctx context.Context, cell sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		if r, ok := c.Get(cell); ok && r.Seed == seed {
+			c.mu.Lock()
+			c.stats.Hits++
+			c.mu.Unlock()
+			return r.Outcome, nil
+		}
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+		start := time.Now()
+		out, err := run(ctx, cell, seed)
+		if err != nil {
+			return out, err
+		}
+		_ = c.Put(sweep.Result{Cell: cell, Seed: seed, Outcome: out}, time.Since(start).Seconds())
+		return out, nil
+	}
+}
+
+// Stats returns the hit/miss counts accumulated by Runner lookups.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Entries returns the cached entries sorted by cell key, a
+// deterministic view for calibration and inspection.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Result.Cell.Key() < out[j].Result.Cell.Key()
+	})
+	return out
+}
+
+// Close releases the append handle and reports the first write error
+// Runner swallowed, if any.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	werr := c.writeErr
+	if c.f != nil {
+		if err := c.f.Close(); err != nil && werr == nil {
+			werr = fmt.Errorf("cache: %w", err)
+		}
+		c.f = nil
+	}
+	return werr
+}

@@ -1,0 +1,510 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"autofl/internal/rng"
+	"autofl/internal/sweep"
+)
+
+// testGrid is a 16-cell grid: 2 data × 2 envs × 2 policies × 2
+// replicates.
+func testGrid() sweep.Grid {
+	return sweep.Grid{
+		Workloads:  []string{"CNN-MNIST"},
+		Settings:   []string{"S3"},
+		Data:       []string{"iid", "noniid50"},
+		Envs:       []string{"ideal", "field"},
+		Policies:   []string{"FedAvg-Random", "AutoFL"},
+		Replicates: 2,
+		Seed:       42,
+	}
+}
+
+func testSig() Signature { return Signature{GridSeed: 42, Rounds: 100} }
+
+// fakeRunner derives a deterministic outcome from the cell seed alone,
+// standing in for a Scenario run.
+func fakeRunner(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+	s := rng.New(seed)
+	return sweep.Outcome{
+		Converged:       s.Bool(0.5),
+		Rounds:          1 + s.IntN(100),
+		TimeToTargetSec: 10 * s.Float64(),
+		EnergyToTargetJ: 100 * s.Float64(),
+		GlobalPPW:       s.Float64(),
+		LocalPPW:        s.Float64(),
+		FinalAccuracy:   s.Float64(),
+	}, nil
+}
+
+// countingRunner wraps a runner and counts executions per cell key.
+type countingRunner struct {
+	mu    sync.Mutex
+	calls map[string]int
+	inner sweep.Runner
+}
+
+func newCounting(inner sweep.Runner) *countingRunner {
+	return &countingRunner{calls: map[string]int{}, inner: inner}
+}
+
+func (c *countingRunner) run(ctx context.Context, cell sweep.Cell, seed uint64) (sweep.Outcome, error) {
+	c.mu.Lock()
+	c.calls[cell.Key()]++
+	c.mu.Unlock()
+	return c.inner(ctx, cell, seed)
+}
+
+func (c *countingRunner) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.calls {
+		n += v
+	}
+	return n
+}
+
+func mustJSON(t *testing.T, s *sweep.ResultStore) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func mustCSV(t *testing.T, s *sweep.ResultStore) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func mustOpen(t *testing.T, dir string, sig Signature) *Cache {
+	t.Helper()
+	c, err := Open(dir, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestWarmRerunExecutesNothing is the headline acceptance bar: a rerun
+// of a finished grid against its cache executes zero cells and emits
+// byte-identical JSON and CSV to the cold run.
+func TestWarmRerunExecutesNothing(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+
+	cold := mustOpen(t, dir, testSig())
+	cr := newCounting(fakeRunner)
+	coldStore, err := sweep.Run(context.Background(), g, cold.Runner(cr.run), sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != g.Size() {
+		t.Fatalf("cold run executed %d cells, want %d", cr.total(), g.Size())
+	}
+	if st := cold.Stats(); st.Hits != 0 || st.Misses != g.Size() {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := mustOpen(t, dir, testSig())
+	if warm.Len() != g.Size() {
+		t.Fatalf("reloaded cache holds %d entries, want %d", warm.Len(), g.Size())
+	}
+	wr := newCounting(fakeRunner)
+	warmStore, err := sweep.Run(context.Background(), g, warm.Runner(wr.run), sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.total() != 0 {
+		t.Errorf("warm rerun executed %d cells, want 0: %v", wr.total(), wr.calls)
+	}
+	if st := warm.Stats(); st.Hits != g.Size() || st.Misses != 0 {
+		t.Errorf("warm stats = %+v", st)
+	}
+	if !bytes.Equal(mustJSON(t, coldStore), mustJSON(t, warmStore)) {
+		t.Error("warm JSON differs from cold JSON")
+	}
+	if !bytes.Equal(mustCSV(t, coldStore), mustCSV(t, warmStore)) {
+		t.Error("warm CSV differs from cold CSV")
+	}
+}
+
+// TestExtendedGridExecutesOnlyNewCells extends a finished grid by one
+// axis value and one replicate and checks that exactly the new cells
+// run.
+func TestExtendedGridExecutesOnlyNewCells(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+
+	c := mustOpen(t, dir, testSig())
+	if _, err := sweep.Run(context.Background(), g, c.Runner(fakeRunner), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One new policy and one new replicate: the extended grid has
+	// 2×2×3×3 = 36 cells, 16 of which are cached.
+	ext := g
+	ext.Policies = append(append([]string{}, g.Policies...), "Power")
+	ext.Replicates = 3
+
+	cached := map[string]bool{}
+	for _, cell := range g.Cells() {
+		cached[cell.Key()] = true
+	}
+	cr := newCounting(fakeRunner)
+	store, err := sweep.Run(context.Background(), ext, c.Runner(cr.run), sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != ext.Size() {
+		t.Fatalf("extended run stored %d cells, want %d", store.Len(), ext.Size())
+	}
+	wantNew := ext.Size() - g.Size()
+	if cr.total() != wantNew {
+		t.Errorf("extended run executed %d cells, want %d", cr.total(), wantNew)
+	}
+	for key, n := range cr.calls {
+		if cached[key] {
+			t.Errorf("cached cell %s was re-executed", key)
+		}
+		if n != 1 {
+			t.Errorf("cell %s executed %d times", key, n)
+		}
+	}
+
+	// The extended output matches a cache-free run of the same grid.
+	fresh, err := sweep.Run(context.Background(), ext, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, store), mustJSON(t, fresh)) {
+		t.Error("extended cached JSON differs from a cache-free run")
+	}
+}
+
+// TestCrashResume cancels a sweep mid-grid, then resumes it and checks
+// that exactly the missing cells run and no cached cell executes
+// twice.
+func TestCrashResume(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	crash := mustOpen(t, dir, testSig())
+	var mu sync.Mutex
+	ran := 0
+	crashRunner := func(ctx context.Context, cell sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		mu.Lock()
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return fakeRunner(ctx, cell, seed)
+	}
+	_, err := sweep.Run(ctx, g, crash.Runner(crashRunner), sweep.Options{Parallel: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := crash.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := mustOpen(t, dir, testSig())
+	survived := resume.Len()
+	if survived == 0 || survived >= g.Size() {
+		t.Fatalf("crash left %d cached cells, want a strict partial of %d", survived, g.Size())
+	}
+	cachedKeys := map[string]bool{}
+	for _, e := range resume.Entries() {
+		cachedKeys[e.Result.Cell.Key()] = true
+	}
+
+	cr := newCounting(fakeRunner)
+	store, err := sweep.Run(context.Background(), g, resume.Runner(cr.run), sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.Size() - survived; cr.total() != want {
+		t.Errorf("resume executed %d cells, want exactly the %d missing", cr.total(), want)
+	}
+	for key := range cr.calls {
+		if cachedKeys[key] {
+			t.Errorf("resume re-executed cached cell %s", key)
+		}
+	}
+
+	// The resumed output matches an uninterrupted cache-free run.
+	fresh, err := sweep.Run(context.Background(), g, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, store), mustJSON(t, fresh)) {
+		t.Error("resumed JSON differs from an uninterrupted run")
+	}
+}
+
+// TestSignatureMismatchInvalidates reopens a populated cache under a
+// different grid seed and a different horizon; both must drop every
+// entry.
+func TestSignatureMismatchInvalidates(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+	c := mustOpen(t, dir, testSig())
+	if _, err := sweep.Run(context.Background(), g, c.Runner(fakeRunner), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	seedChanged := mustOpen(t, dir, Signature{GridSeed: 43, Rounds: 100})
+	if seedChanged.Len() != 0 {
+		t.Errorf("grid-seed change kept %d entries, want 0", seedChanged.Len())
+	}
+	seedChanged.Close()
+
+	roundsChanged := mustOpen(t, dir, Signature{GridSeed: 43, Rounds: 200})
+	if roundsChanged.Len() != 0 {
+		t.Errorf("horizon change kept %d entries, want 0", roundsChanged.Len())
+	}
+}
+
+// TestAxisValueChangesDigest is the axis-definition invalidation rule:
+// renaming any axis value of a cell changes its digest, including
+// values crafted to collide under naive string joining.
+func TestAxisValueChangesDigest(t *testing.T) {
+	sig := testSig()
+	base := sweep.Cell{Workload: "w", Setting: "s", Data: "d", Env: "e", Policy: "p"}
+	variants := []sweep.Cell{
+		{Workload: "w2", Setting: "s", Data: "d", Env: "e", Policy: "p"},
+		{Workload: "w", Setting: "s2", Data: "d", Env: "e", Policy: "p"},
+		{Workload: "w", Setting: "s", Data: "d2", Env: "e", Policy: "p"},
+		{Workload: "w", Setting: "s", Data: "d", Env: "e2", Policy: "p"},
+		{Workload: "w", Setting: "s", Data: "d", Env: "e", Policy: "p2"},
+		{Workload: "w", Setting: "s", Data: "d", Env: "e", Policy: "p", Replicate: 1},
+		// Separator-stuffing collisions under a naive "w|s" join.
+		{Workload: "w|s", Setting: "", Data: "d", Env: "e", Policy: "p"},
+		{Workload: "w|", Setting: "s", Data: "d", Env: "e", Policy: "p"},
+	}
+	seen := map[string]int{sig.CellDigest(base): -1}
+	for i, v := range variants {
+		d := sig.CellDigest(v)
+		if j, dup := seen[d]; dup {
+			t.Errorf("digest collision between variants %d and %d", i, j)
+		}
+		seen[d] = i
+	}
+}
+
+// TestErroredCellsNotCached checks that failures are re-executed on
+// resume rather than served stale.
+func TestErroredCellsNotCached(t *testing.T) {
+	g := sweep.Grid{Policies: []string{"ok", "bad"}, Seed: 7}
+	dir := t.TempDir()
+	run := func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		if c.Policy == "bad" {
+			return sweep.Outcome{}, errors.New("transient")
+		}
+		return fakeRunner(ctx, c, seed)
+	}
+	c := mustOpen(t, dir, Signature{GridSeed: 7, Rounds: 10})
+	if _, err := sweep.Run(context.Background(), g, c.Runner(run), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want only the successful cell", c.Len())
+	}
+	cr := newCounting(run)
+	if _, err := sweep.Run(context.Background(), g, c.Runner(cr.run), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != 1 {
+		t.Errorf("rerun executed %d cells, want 1 (the errored one)", cr.total())
+	}
+	if _, bad := cr.calls[sweep.Cell{Policy: "bad"}.Key()]; !bad {
+		t.Error("the errored cell was not re-executed")
+	}
+}
+
+// TestCorruptLinesSkipped simulates a crash-torn tail and foreign
+// garbage in the JSONL store; valid entries must survive the reload.
+func TestCorruptLinesSkipped(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+	c := mustOpen(t, dir, testSig())
+	if _, err := sweep.Run(context.Background(), g, c.Runner(fakeRunner), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	path := filepath.Join(dir, "results.jsonl")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage, a wrong-digest entry, and a torn final line.
+	fmt.Fprintln(f, "not json at all")
+	fmt.Fprintln(f, `{"digest":"deadbeef","result":{"cell":{"workload":"x","setting":"","data":"","env":"","policy":"","replicate":0},"seed":1,"outcome":{"converged":false,"rounds":1,"time_to_target_sec":0,"energy_to_target_j":0,"global_ppw":0,"local_ppw":0,"final_accuracy":0}},"wall_seconds":0}`)
+	fmt.Fprint(f, `{"digest":"tr`)
+	f.Close()
+
+	re := mustOpen(t, dir, testSig())
+	if re.Len() != g.Size() {
+		t.Errorf("reload kept %d entries, want %d valid ones", re.Len(), g.Size())
+	}
+	cr := newCounting(fakeRunner)
+	if _, err := sweep.Run(context.Background(), g, re.Runner(cr.run), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != 0 {
+		t.Errorf("corruption caused %d re-executions, want 0", cr.total())
+	}
+}
+
+// TestOversizedGarbageTailTolerated writes a newline-free garbage run
+// past the scanner's line budget; Open must keep the valid entries
+// instead of failing, so the cache never bricks its directory.
+func TestOversizedGarbageTailTolerated(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+	c := mustOpen(t, dir, testSig())
+	if _, err := sweep.Run(context.Background(), g, c.Runner(fakeRunner), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, "results.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte{'x'}, 5<<20)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := mustOpen(t, dir, testSig())
+	if re.Len() != g.Size() {
+		t.Errorf("reload kept %d entries, want %d despite the garbage tail", re.Len(), g.Size())
+	}
+}
+
+// TestConcurrentWriters drives two handles on one directory from
+// overlapping sweeps (run under -race in CI) and checks the merged
+// store reloads complete and uncorrupted.
+func TestConcurrentWriters(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+	a := mustOpen(t, dir, testSig())
+	b := mustOpen(t, dir, testSig())
+
+	var wg sync.WaitGroup
+	for _, c := range []*Cache{a, b} {
+		wg.Add(1)
+		go func(c *Cache) {
+			defer wg.Done()
+			if _, err := sweep.Run(context.Background(), g, c.Runner(fakeRunner), sweep.Options{Parallel: 4}); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, testSig())
+	if re.Len() != g.Size() {
+		t.Fatalf("merged cache holds %d entries, want %d", re.Len(), g.Size())
+	}
+	for _, e := range re.Entries() {
+		if e.Digest != testSig().CellDigest(e.Result.Cell) {
+			t.Errorf("entry %s has a mismatched digest", e.Result.Cell.Key())
+		}
+	}
+	cr := newCounting(fakeRunner)
+	store, err := sweep.Run(context.Background(), g, re.Runner(cr.run), sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != 0 {
+		t.Errorf("merged cache missed %d cells", cr.total())
+	}
+	fresh, err := sweep.Run(context.Background(), g, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, store), mustJSON(t, fresh)) {
+		t.Error("merged-cache JSON differs from a cache-free run")
+	}
+}
+
+// TestInvalidate drops entries for -resume=false semantics: the next
+// run re-executes everything while refreshing the store.
+func TestInvalidate(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+	c := mustOpen(t, dir, testSig())
+	if _, err := sweep.Run(context.Background(), g, c.Runner(fakeRunner), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Invalidate kept %d entries", c.Len())
+	}
+	cr := newCounting(fakeRunner)
+	if _, err := sweep.Run(context.Background(), g, c.Runner(cr.run), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != g.Size() {
+		t.Errorf("post-invalidate run executed %d cells, want %d", cr.total(), g.Size())
+	}
+	c.Close()
+	re := mustOpen(t, dir, testSig())
+	if re.Len() != g.Size() {
+		t.Errorf("refreshed cache holds %d entries, want %d", re.Len(), g.Size())
+	}
+}
+
+// TestEntriesSortedAndObservable pins the calibration view: entries
+// come back sorted by cell key with positive wall-clock.
+func TestEntriesSortedAndObservable(t *testing.T) {
+	g := testGrid()
+	c := mustOpen(t, t.TempDir(), testSig())
+	if _, err := sweep.Run(context.Background(), g, c.Runner(fakeRunner), sweep.Options{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	entries := c.Entries()
+	if len(entries) != g.Size() {
+		t.Fatalf("Entries() = %d, want %d", len(entries), g.Size())
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Result.Cell.Key() >= entries[i].Result.Cell.Key() {
+			t.Errorf("entries not sorted at %d", i)
+		}
+		if entries[i].WallSeconds < 0 {
+			t.Errorf("negative wall-clock at %d", i)
+		}
+	}
+}

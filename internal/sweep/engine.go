@@ -53,6 +53,29 @@ type Options struct {
 	// are serialized; completion order is nondeterministic under
 	// parallelism (the result *contents* are not).
 	OnProgress func(Progress)
+	// Order, when non-nil, is the claim order of the expanded cells:
+	// workers execute cells[Order[0]], cells[Order[1]], … instead of
+	// expansion (FIFO) order. It must be a permutation of
+	// [0, grid.Size()); Run rejects anything else. Claim order never
+	// affects output — results are keyed by cell identity and every
+	// exported view sorts — it only shapes the pool's tail latency
+	// (see internal/sweep/schedule).
+	Order []int
+}
+
+// validOrder reports whether order is a permutation of [0, n).
+func validOrder(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return true
 }
 
 // workers resolves the effective pool size.
@@ -74,6 +97,9 @@ func (o Options) workers() int {
 // sorted views are identical for any Parallel value.
 func Run(ctx context.Context, g Grid, run Runner, opts Options) (*ResultStore, error) {
 	cells := g.Cells()
+	if opts.Order != nil && !validOrder(opts.Order, len(cells)) {
+		return NewStore(), fmt.Errorf("sweep: Order is not a permutation of [0, %d)", len(cells))
+	}
 	results := make([]Result, len(cells))
 	executed := make([]bool, len(cells))
 	workers := opts.workers()
@@ -95,6 +121,9 @@ func Run(ctx context.Context, g Grid, run Runner, opts Options) (*ResultStore, e
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(cells) || ctx.Err() != nil {
 					return
+				}
+				if opts.Order != nil {
+					i = opts.Order[i]
 				}
 				results[i] = runCell(ctx, g, cells[i], run)
 				executed[i] = true
@@ -144,8 +173,21 @@ func runCell(ctx context.Context, g Grid, c Cell, run Runner) (r Result) {
 // cells through. A panic in fn aborts the remaining unclaimed work and
 // is re-raised on the caller's goroutine once in-flight calls drain.
 func Map[T any](parallel, n int, fn func(i int) T) []T {
+	return MapOrder(parallel, n, nil, fn)
+}
+
+// MapOrder is Map with an explicit claim order: workers execute
+// fn(order[0]), fn(order[1]), … while results stay in index order. A
+// nil order is FIFO; anything that is not a permutation of [0, n)
+// panics (a programmer error, like an out-of-range index). The figure
+// runners of internal/experiments use it to start their costliest
+// configurations first.
+func MapOrder[T any](parallel, n int, order []int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
+	}
+	if order != nil && !validOrder(order, n) {
+		panic(fmt.Sprintf("sweep: MapOrder order is not a permutation of [0, %d)", n))
 	}
 	workers := parallel
 	if workers < 1 {
@@ -171,6 +213,9 @@ func Map[T any](parallel, n int, fn func(i int) T) []T {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n || aborted.Load() {
 					return
+				}
+				if order != nil {
+					i = order[i]
 				}
 				func() {
 					defer func() {

@@ -20,6 +20,7 @@ package sweep
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 
 	"autofl/internal/rng"
 )
@@ -43,6 +44,19 @@ type Cell struct {
 func (c Cell) Key() string {
 	return fmt.Sprintf("%s/%s/%s/%s/%s#%d",
 		c.Workload, c.Setting, c.Data, c.Env, c.Policy, c.Replicate)
+}
+
+// WriteIdentity writes the cell's injective identity encoding: each
+// axis value length-prefixed, then the replicate index. No two
+// distinct cells produce the same bytes whatever characters their
+// axis values contain. It is the single source of truth for every
+// cell-identity hash — CellSeed here and the cache's CellDigest — so
+// a new axis field only ever needs encoding in one place.
+func (c Cell) WriteIdentity(w io.Writer) {
+	for _, f := range []string{c.Workload, c.Setting, c.Data, c.Env, c.Policy} {
+		fmt.Fprintf(w, "%d:%s|", len(f), f)
+	}
+	fmt.Fprintf(w, "#%d", c.Replicate)
 }
 
 // sameGroup reports whether two cells are replicates of the same
@@ -137,16 +151,13 @@ func (g Grid) Cells() []Cell {
 }
 
 // CellSeed derives the cell's seed from the grid seed and the cell's
-// identity. The fields are hashed length-prefixed (FNV-1a) — an
-// injective encoding, so no two distinct cells share a seed whatever
-// characters their axis values contain — and mixed with the grid seed
-// through an rng.Stream draw, decorrelating the seeds of adjacent
-// cells independently of expansion order or worker scheduling.
+// identity: the WriteIdentity encoding hashed with FNV-1a — injective,
+// so no two distinct cells share a seed whatever characters their axis
+// values contain — and mixed with the grid seed through an rng.Stream
+// draw, decorrelating the seeds of adjacent cells independently of
+// expansion order or worker scheduling.
 func (g Grid) CellSeed(c Cell) uint64 {
 	h := fnv.New64a()
-	for _, f := range []string{c.Workload, c.Setting, c.Data, c.Env, c.Policy} {
-		fmt.Fprintf(h, "%d:%s|", len(f), f)
-	}
-	fmt.Fprintf(h, "#%d", c.Replicate)
+	c.WriteIdentity(h)
 	return rng.New(g.Seed ^ h.Sum64()).Uint64()
 }

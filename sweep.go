@@ -3,7 +3,10 @@ package autofl
 import (
 	"context"
 
+	"autofl/internal/sim"
 	"autofl/internal/sweep"
+	"autofl/internal/sweep/cache"
+	"autofl/internal/sweep/schedule"
 )
 
 // SweepGrid declares the paper's full evaluation grid — every
@@ -67,7 +70,83 @@ func SweepRunner(maxRounds int) sweep.Runner {
 
 // RunSweep executes the grid through Scenario.Run on a worker pool
 // (see sweep.Run for the execution contract). It is the programmatic
-// face of cmd/autofl-sweep.
+// face of cmd/autofl-sweep; RunSweepWith adds caching and scheduling.
 func RunSweep(ctx context.Context, g sweep.Grid, maxRounds int, opts sweep.Options) (*sweep.ResultStore, error) {
-	return sweep.Run(ctx, g, SweepRunner(maxRounds), opts)
+	return RunSweepWith(ctx, g, SweepOptions{MaxRounds: maxRounds, Options: opts})
+}
+
+// SweepOptions extends the engine options with the persistence and
+// scheduling layers of cmd/autofl-sweep.
+type SweepOptions struct {
+	sweep.Options
+	// MaxRounds bounds every run (0 selects the paper's 1000-round
+	// horizon).
+	MaxRounds int
+	// Cache, when non-nil, serves previously completed cells from disk
+	// and records newly executed ones, so an interrupted or extended
+	// grid re-runs only its missing cells. The cache must have been
+	// opened with SweepSignature of the same grid and horizon;
+	// mismatched signatures simply never hit.
+	Cache *cache.Cache
+	// CostSchedule claims pending cells in descending predicted-cost
+	// order (calibrated from the cache's wall-clock observations when
+	// available, FLOPs priors otherwise), with already-cached cells
+	// priced at zero so real work drains first. Output is identical to
+	// FIFO; only tail latency changes. Ignored when Options.Order is
+	// already set.
+	CostSchedule bool
+}
+
+// SweepSignature is the cache identity of a (grid, horizon) pair: the
+// grid master seed plus the effective round horizon, normalized so the
+// default (0) and an explicit 1000 share cache entries.
+func SweepSignature(g sweep.Grid, maxRounds int) cache.Signature {
+	if maxRounds <= 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+	return cache.Signature{GridSeed: g.Seed, Rounds: maxRounds}
+}
+
+// RunSweepWith executes the grid with optional result caching and
+// cost-ordered scheduling layered over the engine. Whatever the cache
+// state or claim order, the exported JSON/CSV is byte-identical to a
+// cold serial run of the same grid and seed.
+func RunSweepWith(ctx context.Context, g sweep.Grid, o SweepOptions) (*sweep.ResultStore, error) {
+	run := SweepRunner(o.MaxRounds)
+	opts := o.Options
+	if o.Cache != nil {
+		run = o.Cache.Runner(run)
+	}
+	if o.CostSchedule && opts.Order == nil {
+		model := schedule.Static()
+		if o.Cache != nil {
+			if obs := cacheObservations(o.Cache); len(obs) > 0 {
+				model = schedule.Calibrate(obs)
+			}
+		}
+		rounds := SweepSignature(g, o.MaxRounds).Rounds
+		cells := g.Cells()
+		opts.Order = schedule.Order(len(cells), func(i int) float64 {
+			if o.Cache != nil && o.Cache.Has(cells[i]) {
+				return 0
+			}
+			return model.Predict(cells[i].Workload, rounds)
+		})
+	}
+	return sweep.Run(ctx, g, run, opts)
+}
+
+// cacheObservations converts the cache's entries into the scheduler's
+// calibration samples.
+func cacheObservations(c *cache.Cache) []schedule.Observation {
+	entries := c.Entries()
+	obs := make([]schedule.Observation, 0, len(entries))
+	for _, e := range entries {
+		obs = append(obs, schedule.Observation{
+			Workload: e.Result.Cell.Workload,
+			Rounds:   c.Signature().Rounds,
+			Seconds:  e.WallSeconds,
+		})
+	}
+	return obs
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"autofl/internal/sweep"
+	"autofl/internal/sweep/cache"
 )
 
 // smallGrid is a fast slice of the evaluation grid for end-to-end
@@ -52,6 +53,117 @@ func TestRunSweepDeterminism(t *testing.T) {
 		if r.Outcome.Rounds == 0 {
 			t.Errorf("cell %s ran no rounds", r.Cell.Key())
 		}
+	}
+}
+
+// TestRunSweepWithCacheAndSchedule is the acceptance criterion end to
+// end on real Scenario runs: a finished-grid rerun against its cache
+// executes zero cells and emits byte-identical JSON/CSV to the cold
+// run, and extending the grid by one axis value executes only the new
+// cells — all under the cost scheduler.
+func TestRunSweepWithCacheAndSchedule(t *testing.T) {
+	g := smallGrid(42)
+	const rounds = 25
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold, err := cache.Open(dir, SweepSignature(g, rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStore, err := RunSweepWith(ctx, g, SweepOptions{
+		MaxRounds: rounds, Cache: cold, CostSchedule: true,
+		Options: sweep.Options{Parallel: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Hits != 0 || st.Misses != g.Size() {
+		t.Fatalf("cold stats = %+v, want %d misses", st, g.Size())
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := cache.Open(dir, SweepSignature(g, rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	warmStore, err := RunSweepWith(ctx, g, SweepOptions{
+		MaxRounds: rounds, Cache: warm, CostSchedule: true,
+		Options: sweep.Options{Parallel: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Hits != g.Size() || st.Misses != 0 {
+		t.Fatalf("warm rerun executed cells: stats = %+v", st)
+	}
+	var cj, wj, cc, wc bytes.Buffer
+	if err := coldStore.WriteJSON(&cj); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmStore.WriteJSON(&wj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cj.Bytes(), wj.Bytes()) {
+		t.Error("warm JSON differs from cold JSON")
+	}
+	if err := coldStore.WriteCSV(&cc); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmStore.WriteCSV(&wc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cc.Bytes(), wc.Bytes()) {
+		t.Error("warm CSV differs from cold CSV")
+	}
+
+	// Extend the policy axis by one value: only the new cells execute.
+	ext := g
+	ext.Policies = append(append([]string{}, g.Policies...), string(PolicyPower))
+	extStore, err := RunSweepWith(ctx, ext, SweepOptions{
+		MaxRounds: rounds, Cache: warm, CostSchedule: true,
+		Options: sweep.Options{Parallel: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNew := ext.Size() - g.Size()
+	if st := warm.Stats(); st.Misses != wantNew {
+		t.Errorf("extension executed %d cells, want %d", st.Misses, wantNew)
+	}
+	if extStore.Len() != ext.Size() {
+		t.Errorf("extension stored %d of %d cells", extStore.Len(), ext.Size())
+	}
+
+	// The extended cached output equals a cache-free serial run.
+	fresh, err := RunSweep(ctx, ext, rounds, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ej, fj bytes.Buffer
+	if err := extStore.WriteJSON(&ej); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.WriteJSON(&fj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ej.Bytes(), fj.Bytes()) {
+		t.Error("extended cached JSON differs from a cache-free serial run")
+	}
+}
+
+// TestSweepSignatureNormalizesRounds pins the 0 ≡ 1000 horizon rule so
+// default and explicit invocations share cache entries.
+func TestSweepSignatureNormalizesRounds(t *testing.T) {
+	g := smallGrid(1)
+	if SweepSignature(g, 0) != SweepSignature(g, 1000) {
+		t.Error("MaxRounds 0 must normalize to the paper's 1000")
+	}
+	if SweepSignature(g, 100) == SweepSignature(g, 200) {
+		t.Error("distinct horizons must produce distinct signatures")
 	}
 }
 
