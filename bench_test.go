@@ -163,6 +163,50 @@ func BenchmarkOverheadQTableOps(b *testing.B) {
 			table.Update("s|u1|m0|n0|d2", "CPU@2", 1.5, "s|u0|m0|n0|d2", "CPU@2", 0.9, 0.1)
 		}
 	})
+	b.Run("update-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		s := rng.New(7)
+		table := qlearn.NewDense(len(core.Actions()), s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			table.Update(17, 2, 1.5, 23, 2, 0.9, 0.1)
+		}
+	})
+}
+
+// BenchmarkControllerSelect isolates the AutoFL decision step at paper
+// scale (200 devices, K=20): packed state encoding, dense-table
+// argmax, ranking. Steady state must report 0 allocs/op (pinned by
+// TestControllerSteadyStateAllocFree).
+func BenchmarkControllerSelect(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(5)
+	cfg.Fleet = device.DefaultFleet()
+	cfg.Params.K = 20
+	eng := sim.New(cfg)
+	ctrl := core.New(core.DefaultOptions(6))
+	ctx, res := eng.RunRound(ctrl, 0, 0.5)
+	ctrl.Feedback(ctx, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ctrl.Select(ctx)
+	}
+}
+
+// BenchmarkControllerFeedback isolates the AutoFL measurement step:
+// Eq (5)–(7) reward computation and staging for the next update.
+func BenchmarkControllerFeedback(b *testing.B) {
+	b.ReportAllocs()
+	cfg := benchConfig(5)
+	cfg.Fleet = device.DefaultFleet()
+	cfg.Params.K = 20
+	eng := sim.New(cfg)
+	ctrl := core.New(core.DefaultOptions(6))
+	ctx, res := eng.RunRound(ctrl, 0, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Feedback(ctx, res)
+	}
 }
 
 // BenchmarkEnergyModelError — E14: the phase-aware energy estimator.

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"autofl/internal/data"
+	"autofl/internal/device"
+	"autofl/internal/sim"
+	"autofl/internal/workload"
+)
+
+// TestControllerSteadyStateAllocFree pins the §6.4 overhead claim at
+// the allocation level: once the fleet's agents, rows, and round
+// buffers exist, Select and Feedback must not allocate at all. Any
+// regression here shows up as a nonzero AllocsPerRun long before it is
+// visible in wall-clock benchmarks.
+func TestControllerSteadyStateAllocFree(t *testing.T) {
+	cfg := sim.Config{
+		Workload:       workload.CNNMNIST(),
+		Params:         workload.GlobalParams{B: 16, E: 5, K: 8},
+		Fleet:          device.NewFleet(6, 14, 20),
+		Data:           data.NonIID50,
+		Env:            sim.EnvField(),
+		Seed:           91,
+		MaxRounds:      80,
+		TargetAccuracy: 1.1,
+	}
+	eng := sim.New(cfg)
+	ctrl := New(DefaultOptions(92))
+
+	// Warm up: materialize agents, visited-state rows, tie priorities,
+	// and every reusable buffer.
+	acc := cfg.Workload.AccuracyFloor
+	var ctx *sim.RoundContext
+	var res *sim.RoundResult
+	for round := 0; round < 80; round++ {
+		ctx, res = eng.RunRound(ctrl, round, acc)
+		ctrl.Feedback(ctx, res)
+		acc = res.Accuracy
+	}
+
+	// The reward trace legitimately grows one float per round; give it
+	// headroom so slice-growth amortization doesn't show up as an
+	// allocation inside the measured window.
+	const runs = 200
+	trace := ctrl.rewardTrace
+	grown := make([]float64, len(trace), len(trace)+4*runs)
+	copy(grown, trace)
+	ctrl.rewardTrace = grown
+
+	if avg := testing.AllocsPerRun(runs, func() { _ = ctrl.Select(ctx) }); avg != 0 {
+		t.Errorf("steady-state Select allocated %.2f/run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(runs, func() { ctrl.Feedback(ctx, res) }); avg != 0 {
+		t.Errorf("steady-state Feedback allocated %.2f/run, want 0", avg)
+	}
+	// And the interleaved decision→measure loop, as the engine drives
+	// it.
+	if avg := testing.AllocsPerRun(runs, func() {
+		_ = ctrl.Select(ctx)
+		ctrl.Feedback(ctx, res)
+	}); avg != 0 {
+		t.Errorf("steady-state Select+Feedback allocated %.2f/run, want 0", avg)
+	}
+}

@@ -14,7 +14,10 @@ import (
 // point sits in the interior — see internal/device tests).
 var dvfsLevels = []float64{0.45, 0.70, 1.00}
 
-// Actions enumerates the 2 targets × 3 DVFS levels.
+// Actions enumerates the 2 targets × 3 DVFS levels. The slice order is
+// the controller's action index space; it is lexicographic by action
+// name, so index-order argmax tie-breaking matches the legacy
+// sorted-name behavior.
 func Actions() []qlearn.Action {
 	var out []qlearn.Action
 	for _, t := range []device.Target{device.CPU, device.GPU} {
@@ -79,31 +82,41 @@ func DefaultOptions(seed uint64) Options {
 	}
 }
 
-// pendingDecision carries one round's (S, A) pairs until the next
-// round's observation provides (S', A') for the Algorithm 1 update.
-type pendingDecision struct {
-	keys    map[int]qlearn.State  // per selected device
-	actions map[int]qlearn.Action // per selected device
-	reward  map[int]float64       // per selected device, from Feedback
-	ready   bool                  // reward computed
-}
-
 // Controller is the AutoFL policy. It implements sim.FeedbackPolicy.
+//
+// The decision hot path is allocation-free in steady state: states are
+// packed qlearn.StateKeys (StateCoder), Q-tables are dense slices
+// (qlearn.Dense), and every per-round structure — state keys, the
+// device ranking, the selection list, the pending (S, A, R) record —
+// lives in controller-owned buffers reused across rounds.
 type Controller struct {
 	opts    Options
 	buckets Buckets
-	agents  map[int]*qlearn.Agent // keyed by device ID or category
+	coder   StateCoder
+	actions []qlearn.Action            // fixed action ordering (index space)
+	agents  map[int]*qlearn.DenseAgent // keyed by device ID or category
 	explore *rng.Stream
 
-	pending *pendingDecision
+	// Pending round bookkeeping: one round's (S, A) pairs held until
+	// the next round's observation provides (S', A') for the Algorithm
+	// 1 update. Parallel slices in selection order, reused across
+	// rounds.
+	pendIdx     []int // selected device indices
+	pendKey     []qlearn.StateKey
+	pendAct     []int8 // action indices
+	pendReward  []float64
+	havePending bool
+	pendReady   bool // reward computed
 
 	// tiePriority breaks Q-value ties between devices. It is random —
 	// avoiding the biased selection §4.2 warns about — but drawn once
 	// per controller, so equally-valued devices keep a consistent
 	// order: the learned cohort stays stable round over round, which
 	// is what lets FedAvg converge on its union data distribution
-	// under heavy non-IID populations.
-	tiePriority map[int]float64
+	// under heavy non-IID populations. Drawn lazily on first use,
+	// indexed by device.
+	tiePriority []float64
+	tieDrawn    []bool
 
 	// Reference energies anchor the Eq (7) energy terms to a unitless
 	// scale; initialized from the first observed round.
@@ -129,6 +142,12 @@ type Controller struct {
 
 	rewardTrace []float64
 
+	// Reusable round buffers (sized to the fleet on first Select).
+	keys    []qlearn.StateKey
+	ranked  []ranked
+	selBuf  []sim.Selection
+	permBuf []int
+
 	// Decision bookkeeping for prediction-accuracy analysis (Fig 12).
 	lastExplored bool
 }
@@ -145,9 +164,10 @@ func New(opts Options) *Controller {
 	return &Controller{
 		opts:        opts,
 		buckets:     b,
-		agents:      make(map[int]*qlearn.Agent),
+		coder:       NewStateCoder(b),
+		actions:     Actions(),
+		agents:      make(map[int]*qlearn.DenseAgent),
 		explore:     rng.New(opts.Seed ^ 0xa07f1),
-		tiePriority: make(map[int]float64),
 		deviceValue: make(map[int]float64),
 	}
 }
@@ -174,7 +194,7 @@ func (c *Controller) MemoryBytes() int {
 // agentFor returns the Q-learning agent for a device, creating it on
 // first use. With SharedTables, devices of the same performance
 // category share one agent.
-func (c *Controller) agentFor(ds *sim.DeviceState) *qlearn.Agent {
+func (c *Controller) agentFor(ds *sim.DeviceState) *qlearn.DenseAgent {
 	key := c.agentKey(ds)
 	if _, ok := c.deviceValue[key]; !ok {
 		// Informed prior: the FL protocol reports each device's
@@ -189,7 +209,7 @@ func (c *Controller) agentFor(ds *sim.DeviceState) *qlearn.Agent {
 	}
 	a, ok := c.agents[key]
 	if !ok {
-		a = qlearn.NewAgent(Actions(), c.explore)
+		a = qlearn.NewDenseAgent(len(c.actions), c.explore)
 		a.Epsilon = c.opts.Epsilon
 		a.LearningRate = c.opts.LearningRate
 		a.Discount = c.opts.Discount
@@ -206,58 +226,96 @@ func (c *Controller) agentKey(ds *sim.DeviceState) int {
 	return ds.Device.ID
 }
 
+// ensureFleet sizes the reusable per-device buffers.
+func (c *Controller) ensureFleet(n int) {
+	if cap(c.keys) < n {
+		c.keys = make([]qlearn.StateKey, n)
+		c.ranked = make([]ranked, n)
+		c.permBuf = make([]int, n)
+		tp := make([]float64, n)
+		copy(tp, c.tiePriority)
+		td := make([]bool, n)
+		copy(td, c.tieDrawn)
+		c.tiePriority, c.tieDrawn = tp, td
+	}
+	c.keys = c.keys[:n]
+	c.ranked = c.ranked[:n]
+	c.permBuf = c.permBuf[:n]
+	c.tiePriority = c.tiePriority[:n]
+	c.tieDrawn = c.tieDrawn[:n]
+}
+
+// stage records one selected device's (S, A) pair for the next round's
+// value update.
+func (c *Controller) stage(idx int, key qlearn.StateKey, act int) {
+	c.pendIdx = append(c.pendIdx, idx)
+	c.pendKey = append(c.pendKey, key)
+	c.pendAct = append(c.pendAct, int8(act))
+}
+
 // Select implements Algorithm 1's decision step: with probability ε
 // pick K random participants and random actions; otherwise sort
 // devices by Q(S_global, S_local, A) and take the top K with their
 // argmax actions. It also completes the previous round's value update,
 // for which this round's states provide (S', A').
+//
+// The returned slice is a controller-owned buffer, valid until the
+// next Select call.
 func (c *Controller) Select(ctx *sim.RoundContext) []sim.Selection {
-	global := GlobalStateKey(ctx.Workload, ctx.Params)
+	n := len(ctx.Devices)
+	c.ensureFleet(n)
 
-	keys := make(map[int]qlearn.State, len(ctx.Devices))
+	global := c.coder.GlobalKey(ctx.Workload, ctx.Params)
 	for i := range ctx.Devices {
-		keys[i] = StateKey(global, c.buckets.LocalStateKey(&ctx.Devices[i]))
+		c.keys[i] = c.coder.Key(global, &ctx.Devices[i])
 	}
 
-	c.completePendingUpdate(ctx, keys)
+	c.completePendingUpdate(ctx)
 
-	decision := &pendingDecision{
-		keys:    make(map[int]qlearn.State),
-		actions: make(map[int]qlearn.Action),
-	}
-	var selections []sim.Selection
+	c.pendIdx = c.pendIdx[:0]
+	c.pendKey = c.pendKey[:0]
+	c.pendAct = c.pendAct[:0]
+	c.pendReward = c.pendReward[:0]
+	c.havePending = true
+	c.pendReady = false
+	selections := c.selBuf[:0]
 
 	c.lastExplored = c.explore.Bool(c.opts.Epsilon)
 	if c.lastExplored {
 		// Exploration: uniform random participants and actions.
-		for _, i := range c.explore.Sample(len(ctx.Devices), ctx.Params.K) {
+		k := ctx.Params.K
+		if k > n {
+			k = n
+		}
+		c.explore.PermInto(c.permBuf)
+		for _, i := range c.permBuf[:k] {
 			agent := c.agentFor(&ctx.Devices[i])
 			action := agent.RandomAction()
-			target, step := DecodeAction(action, ctx.Devices[i].Device.Spec)
+			target, step := DecodeAction(c.actions[action], ctx.Devices[i].Device.Spec)
 			selections = append(selections, sim.Selection{Index: i, Target: target, Step: step})
-			decision.keys[i] = keys[i]
-			decision.actions[i] = action
+			c.stage(i, c.keys[i], action)
 		}
-		c.pending = decision
+		c.selBuf = selections
 		return selections
 	}
 
-	// Exploitation: rank all devices by their best Q-value.
-	rankedDevices := make([]ranked, len(ctx.Devices))
+	// Exploitation: rank all devices by their best Q-value. Touch pins
+	// each state's row materialization to the decision step, so pure
+	// reads elsewhere never perturb the init stream.
 	for i := range ctx.Devices {
 		agent := c.agentFor(&ctx.Devices[i])
-		action, value := agent.Table.Best(keys[i])
-		rankedDevices[i] = ranked{idx: i, value: value, tie: c.tieFor(i), action: action}
+		row := agent.Table.Touch(c.keys[i])
+		action, value := agent.Table.BestAt(row)
+		c.ranked[i] = ranked{idx: i, value: value, tie: c.tieFor(i), action: int8(action)}
 	}
-	sortRanked(rankedDevices)
+	sortRanked(c.ranked)
 
-	for _, r := range rankedDevices[:min(ctx.Params.K, len(rankedDevices))] {
-		target, step := DecodeAction(r.action, ctx.Devices[r.idx].Device.Spec)
+	for _, r := range c.ranked[:min(ctx.Params.K, n)] {
+		target, step := DecodeAction(c.actions[r.action], ctx.Devices[r.idx].Device.Spec)
 		selections = append(selections, sim.Selection{Index: r.idx, Target: target, Step: step})
-		decision.keys[r.idx] = keys[r.idx]
-		decision.actions[r.idx] = r.action
+		c.stage(r.idx, c.keys[r.idx], int(r.action))
 	}
-	c.pending = decision
+	c.selBuf = selections
 	return selections
 }
 
@@ -266,18 +324,17 @@ type ranked struct {
 	idx    int
 	value  float64
 	tie    float64
-	action qlearn.Action
+	action int8
 }
 
 // tieFor returns the device's stable random tie-break priority,
 // drawing it on first use.
 func (c *Controller) tieFor(idx int) float64 {
-	p, ok := c.tiePriority[idx]
-	if !ok {
-		p = c.explore.Float64()
-		c.tiePriority[idx] = p
+	if !c.tieDrawn[idx] {
+		c.tiePriority[idx] = c.explore.Float64()
+		c.tieDrawn[idx] = true
 	}
-	return p
+	return c.tiePriority[idx]
 }
 
 // sortRanked sorts descending by (value, tie) with an insertion sort:
@@ -300,15 +357,15 @@ func sortRanked(r []ranked) {
 // reward for every participant and stage it; the Q update completes at
 // the next Select when (S', A') is known.
 func (c *Controller) Feedback(ctx *sim.RoundContext, res *sim.RoundResult) {
-	if c.pending == nil {
+	if !c.havePending {
 		return
 	}
 	if c.refGlobalEnergy == 0 {
 		// Anchor the energy scale to the first observed round.
 		c.refGlobalEnergy = res.EnergyTotalJ
 		n := 0
-		for _, dr := range res.Devices {
-			if dr.Selected {
+		for i := range res.Devices {
+			if res.Devices[i].Selected {
 				n++
 			}
 		}
@@ -337,9 +394,9 @@ func (c *Controller) Feedback(ctx *sim.RoundContext, res *sim.RoundResult) {
 	const stallPatience = 3
 	plateaued := c.stallStreak >= stallPatience
 
-	c.pending.reward = make(map[int]float64, len(c.pending.keys))
+	c.pendReward = c.pendReward[:0]
 	sum, n := 0.0, 0
-	for idx := range c.pending.keys {
+	for _, idx := range c.pendIdx {
 		var r float64
 		switch {
 		case res.Devices[idx].UpdateFraction == 0:
@@ -370,11 +427,11 @@ func (c *Controller) Feedback(ctx *sim.RoundContext, res *sim.RoundResult) {
 			credit := 0.25 + 0.75*ctx.Devices[idx].Data.ClassFraction
 			r = -globalTerm - local + c.opts.Alpha*accuracy + c.opts.Beta*deltaAcc*credit
 		}
-		c.pending.reward[idx] = r
+		c.pendReward = append(c.pendReward, r)
 		sum += r
 		n++
 	}
-	c.pending.ready = true
+	c.pendReady = true
 	if n > 0 {
 		c.rewardTrace = append(c.rewardTrace, sum/float64(n))
 	}
@@ -390,31 +447,35 @@ func (c *Controller) Feedback(ctx *sim.RoundContext, res *sim.RoundResult) {
 	if n > 0 {
 		mean := sum / float64(n)
 		const valueEMA = 0.05
-		for idx := range c.pending.reward {
-			c.pending.reward[idx] -= mean
+		for j, idx := range c.pendIdx {
+			c.pendReward[j] -= mean
 			key := c.agentKey(&ctx.Devices[idx])
 			// The prior EMA moves slowly: single noisy rounds must
 			// not reshuffle the device ranking.
-			c.deviceValue[key] = (1-valueEMA)*c.deviceValue[key] + valueEMA*c.pending.reward[idx]
+			c.deviceValue[key] = (1-valueEMA)*c.deviceValue[key] + valueEMA*c.pendReward[j]
 		}
 	}
 }
 
 // completePendingUpdate applies the Algorithm 1 update for the
 // previous round using this round's states as S' and the greedy
-// actions as A'.
-func (c *Controller) completePendingUpdate(ctx *sim.RoundContext, keys map[int]qlearn.State) {
-	p := c.pending
-	if p == nil || !p.ready {
+// actions as A'. Touching S' here (before reading its argmax)
+// reproduces the legacy row-creation order: S' rows materialize
+// before the S row a first Update creates.
+func (c *Controller) completePendingUpdate(ctx *sim.RoundContext) {
+	if !c.havePending || !c.pendReady {
 		return
 	}
-	for idx, s := range p.keys {
+	for j, idx := range c.pendIdx {
 		agent := c.agentFor(&ctx.Devices[idx])
-		sNext := keys[idx]
-		aNext, _ := agent.Table.Best(sNext)
-		agent.Learn(s, p.actions[idx], p.reward[idx], sNext, aNext)
+		rowNext := agent.Table.Touch(c.keys[idx])
+		aNext, _ := agent.Table.BestAt(rowNext)
+		rowS := agent.Table.Touch(c.pendKey[j])
+		agent.Table.UpdateAt(rowS, int(c.pendAct[j]), c.pendReward[j],
+			rowNext, aNext, agent.LearningRate, agent.Discount)
 	}
-	c.pending = nil
+	c.havePending = false
+	c.pendReady = false
 }
 
 // Compile-time interface checks.

@@ -233,8 +233,9 @@ func TestDroppedDeviceAlwaysPunished(t *testing.T) {
 	c.Feedback(ctx, res)
 	// Rewards are round-mean-centered, so assert the ordering: the
 	// dropped device must sit strictly below every on-time peer.
-	dropped := c.pending.reward[forced]
-	for idx, r := range c.pending.reward {
+	rewards := pendingRewards(c)
+	dropped := rewards[forced]
+	for idx, r := range rewards {
 		if idx == forced || res.Devices[idx].UpdateFraction == 0 {
 			continue
 		}
@@ -244,13 +245,22 @@ func TestDroppedDeviceAlwaysPunished(t *testing.T) {
 	}
 }
 
+// pendingRewards exposes the staged per-device rewards for assertions.
+func pendingRewards(c *Controller) map[int]float64 {
+	out := make(map[int]float64, len(c.pendIdx))
+	for j, idx := range c.pendIdx {
+		out[idx] = c.pendReward[j]
+	}
+	return out
+}
+
 func TestRewardProgressBranchSign(t *testing.T) {
 	c := New(DefaultOptions(11))
 	eng := sim.New(cfg(12))
 	ctx, res := eng.RunRound(c, 0, 0.5)
 	res.Accuracy = res.PrevAccuracy + 0.02 // clear improvement
 	c.Feedback(ctx, res)
-	for idx, r := range c.pending.reward {
+	for idx, r := range pendingRewards(c) {
 		if res.Devices[idx].UpdateFraction == 0 {
 			continue
 		}

@@ -115,3 +115,108 @@ func bucketWithNone(v float64, boundaries []float64) int {
 func StateKey(global, local qlearn.State) qlearn.State {
 	return qlearn.JoinState(string(global), string(local))
 }
+
+// StateCoder packs the Table 1 feature buckets into a single
+// qlearn.StateKey using a mixed-radix encoding: each feature
+// contributes one digit whose radix is its bucket count (static per
+// run, since bucket boundaries are fixed at calibration time). Packed
+// keys replace the fmt.Sprintf/JoinState string keys on the controller
+// hot path — the string forms above remain the debug/serialization
+// representation (see Format).
+//
+// The encoding is injective: every digit is strictly below its radix
+// (dbscan.Bucket returns at most len(boundaries), bucketWithNone at
+// most len(boundaries)+1), so distinct bucket combinations map to
+// distinct keys. TestStateCoderInjective enumerates the full cross
+// product to pin this.
+type StateCoder struct {
+	buckets Buckets
+	// Global-feature radices (fixed package-level boundaries).
+	nConv, nFC, nRC, nB, nE, nK uint64
+	// Local-feature radices (derived from the Buckets in use).
+	nU, nM, nN, nD uint64
+	// localSpace is the number of distinct local states; the full key
+	// is global*localSpace + local.
+	localSpace uint64
+}
+
+// NewStateCoder derives the packing layout for a bucket configuration.
+func NewStateCoder(b Buckets) StateCoder {
+	c := StateCoder{
+		buckets: b,
+		nConv:   uint64(dbscan.NumBuckets(convBoundaries)),
+		nFC:     uint64(dbscan.NumBuckets(fcBoundaries)),
+		nRC:     uint64(dbscan.NumBuckets(rcBoundaries)),
+		nB:      uint64(dbscan.NumBuckets(bBoundaries)),
+		nE:      uint64(dbscan.NumBuckets(eBoundaries)),
+		nK:      uint64(dbscan.NumBuckets(kBoundaries)),
+		// bucketWithNone reserves one extra bucket for exact zero.
+		nU: uint64(dbscan.NumBuckets(b.CoCPU)) + 1,
+		nM: uint64(dbscan.NumBuckets(b.CoMem)) + 1,
+		nN: uint64(dbscan.NumBuckets(b.NetworkMbps)),
+		nD: uint64(dbscan.NumBuckets(b.DataFraction)),
+	}
+	c.localSpace = c.nU * c.nM * c.nN * c.nD
+	return c
+}
+
+// StateSpace returns the total number of encodable (global, local)
+// states — the key space the interner draws from.
+func (c StateCoder) StateSpace() uint64 {
+	return c.nConv * c.nFC * c.nRC * c.nB * c.nE * c.nK * c.localSpace
+}
+
+// GlobalKey packs the round-invariant state (the packed counterpart of
+// GlobalStateKey).
+func (c StateCoder) GlobalKey(w *workload.Model, p workload.GlobalParams) qlearn.StateKey {
+	conv, fc, rc := w.CountLayers()
+	k := uint64(dbscan.Bucket(float64(conv), convBoundaries))
+	k = k*c.nFC + uint64(dbscan.Bucket(float64(fc), fcBoundaries))
+	k = k*c.nRC + uint64(dbscan.Bucket(float64(rc), rcBoundaries))
+	k = k*c.nB + uint64(dbscan.Bucket(float64(p.B), bBoundaries))
+	k = k*c.nE + uint64(dbscan.Bucket(float64(p.E), eBoundaries))
+	k = k*c.nK + uint64(dbscan.Bucket(float64(p.K), kBoundaries))
+	return qlearn.StateKey(k)
+}
+
+// LocalKey packs one device's runtime-variance and data state (the
+// packed counterpart of LocalStateKey).
+func (c StateCoder) LocalKey(ds *sim.DeviceState) qlearn.StateKey {
+	k := uint64(bucketWithNone(ds.Load.CPUUtil, c.buckets.CoCPU))
+	k = k*c.nM + uint64(bucketWithNone(ds.Load.MemUtil, c.buckets.CoMem))
+	k = k*c.nN + uint64(dbscan.Bucket(ds.BandwidthMbps, c.buckets.NetworkMbps))
+	k = k*c.nD + uint64(dbscan.Bucket(ds.Data.ClassFraction, c.buckets.DataFraction))
+	return qlearn.StateKey(k)
+}
+
+// Key joins a packed global key with a device's packed local state —
+// the packed counterpart of StateKey(GlobalStateKey(…),
+// LocalStateKey(…)).
+func (c StateCoder) Key(global qlearn.StateKey, ds *sim.DeviceState) qlearn.StateKey {
+	return qlearn.StateKey(uint64(global)*c.localSpace) + c.LocalKey(ds)
+}
+
+// Format renders a packed key in the legacy string-key layout
+// ("c…|f…|r…|b…|e…|k…|u…|m…|n…|d…") by peeling the mixed-radix digits
+// back off — the debug/serialization bridge between the two forms.
+func (c StateCoder) Format(k qlearn.StateKey) string {
+	v := uint64(k)
+	digits := [10]uint64{}
+	radices := [10]uint64{c.nConv, c.nFC, c.nRC, c.nB, c.nE, c.nK, c.nU, c.nM, c.nN, c.nD}
+	for i := len(radices) - 1; i >= 0; i-- {
+		digits[i] = v % radices[i]
+		v /= radices[i]
+	}
+	return string(qlearn.JoinState(
+		fmt.Sprintf("c%d", digits[0]),
+		fmt.Sprintf("f%d", digits[1]),
+		fmt.Sprintf("r%d", digits[2]),
+		fmt.Sprintf("b%d", digits[3]),
+		fmt.Sprintf("e%d", digits[4]),
+		fmt.Sprintf("k%d", digits[5]),
+		fmt.Sprintf("u%d", digits[6]),
+		fmt.Sprintf("m%d", digits[7]),
+		fmt.Sprintf("n%d", digits[8]),
+		fmt.Sprintf("d%d", digits[9]),
+	))
+}

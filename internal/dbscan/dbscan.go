@@ -132,6 +132,12 @@ func Discretize(values []float64, eps float64, minPts int) []float64 {
 	return boundaries
 }
 
+// NumBuckets returns the number of distinct buckets a boundary set
+// induces: Bucket returns values in [0, len(boundaries)], so k
+// boundaries yield k+1 buckets. Packed state encodings use it as the
+// radix of each feature digit.
+func NumBuckets(boundaries []float64) int { return len(boundaries) + 1 }
+
 // Bucket returns the index of the bucket that v falls into given sorted
 // ascending boundaries: the count of boundaries <= v.
 func Bucket(v float64, boundaries []float64) int {

@@ -206,3 +206,27 @@ func TestBucketMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNumBuckets(t *testing.T) {
+	cases := []struct {
+		boundaries []float64
+		want       int
+	}{
+		{nil, 1},
+		{[]float64{0.5}, 2},
+		{[]float64{0.25, 0.75}, 3},
+		{[]float64{1, 10, 20, 40}, 5},
+	}
+	for _, c := range cases {
+		if got := NumBuckets(c.boundaries); got != c.want {
+			t.Errorf("NumBuckets(%v) = %d, want %d", c.boundaries, got, c.want)
+		}
+		// Consistency with Bucket: every reachable bucket index is
+		// strictly below NumBuckets.
+		for _, v := range []float64{-1, 0, 0.3, 5, 100} {
+			if b := Bucket(v, c.boundaries); b >= NumBuckets(c.boundaries) {
+				t.Errorf("Bucket(%v, %v) = %d >= NumBuckets %d", v, c.boundaries, b, NumBuckets(c.boundaries))
+			}
+		}
+	}
+}

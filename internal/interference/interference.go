@@ -46,13 +46,30 @@ type WeightedLoad struct {
 	Load   Load
 }
 
+// phaseWeights and weightedLoads are derived once from the static
+// phase table, so per-round sampling and per-candidate risk scoring
+// allocate nothing.
+var (
+	phaseWeights = func() []float64 {
+		w := make([]float64, len(browsingPhases))
+		for i, p := range browsingPhases {
+			w[i] = p.weight
+		}
+		return w
+	}()
+	weightedLoads = func() []WeightedLoad {
+		out := make([]WeightedLoad, len(browsingPhases))
+		for i, p := range browsingPhases {
+			out[i] = WeightedLoad{Weight: p.weight, Load: Load{CPUUtil: p.cpuMean, MemUtil: p.memMean}}
+		}
+		return out
+	}()
+)
+
 // WeightedLoads returns the phase mixture at its mean utilizations.
+// The slice is shared; callers must not mutate it.
 func WeightedLoads() []WeightedLoad {
-	out := make([]WeightedLoad, len(browsingPhases))
-	for i, p := range browsingPhases {
-		out[i] = WeightedLoad{Weight: p.weight, Load: Load{CPUUtil: p.cpuMean, MemUtil: p.memMean}}
-	}
-	return out
+	return weightedLoads
 }
 
 // SurpriseProb is the probability that a device's co-runner state
@@ -93,11 +110,7 @@ func (m Model) Sample(s *rng.Stream) Load {
 	if !s.Bool(m.Prob) {
 		return Load{}
 	}
-	weights := make([]float64, len(browsingPhases))
-	for i, p := range browsingPhases {
-		weights[i] = p.weight
-	}
-	p := browsingPhases[s.Categorical(weights)]
+	p := browsingPhases[s.Categorical(phaseWeights)]
 	return Load{
 		CPUUtil: s.ClampedNormal(p.cpuMean, p.cpuStd, 0, 1),
 		MemUtil: s.ClampedNormal(p.memMean, p.memStd, 0, 1),

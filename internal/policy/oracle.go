@@ -2,6 +2,7 @@ package policy
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"autofl/internal/device"
@@ -35,6 +36,26 @@ func memberScore(ctx *sim.RoundContext, idx int) float64 {
 	return math.Pow(q, 3) / (energy * total)
 }
 
+// oracleScratch holds the candidate-evaluation buffers the oracles
+// reuse across rounds and candidate clusters, so the exhaustive
+// per-round search does not allocate in steady state. An oracle
+// instance (like every stateful policy here) must not be shared by
+// concurrently running engines.
+type oracleScratch struct {
+	times   []float64
+	clean   []float64
+	pool    []scoredDevice
+	members []int
+	best    []int
+	sels    []sim.Selection
+}
+
+// scoredDevice is one candidate in a tier's member-selection pool.
+type scoredDevice struct {
+	idx   int
+	score float64
+}
+
 // clusterEval is the oracle's prediction for one candidate
 // composition.
 type clusterEval struct {
@@ -47,12 +68,16 @@ type clusterEval struct {
 // completion times, straggler drops, round duration, fleet energy, and
 // a progress proxy; the score is progress per joule — the quantity the
 // paper's PPW figures measure.
-func evaluateCluster(ctx *sim.RoundContext, members []int) clusterEval {
+func evaluateCluster(ctx *sim.RoundContext, members []int, sc *oracleScratch) clusterEval {
 	if len(members) == 0 {
 		return clusterEval{}
 	}
-	times := make([]float64, len(members))
-	clean := make([]float64, len(members))
+	if cap(sc.times) < len(members) {
+		sc.times = make([]float64, len(members))
+		sc.clean = make([]float64, len(members))
+	}
+	times := sc.times[:len(members)]
+	clean := sc.clean[:len(members)]
 	for i, idx := range members {
 		comp, comm := ctx.Estimate(idx, device.CPU, -1)
 		times[i] = comp + comm
@@ -61,11 +86,11 @@ func evaluateCluster(ctx *sim.RoundContext, members []int) clusterEval {
 	}
 	// The server's deadline derives from expected clean execution, not
 	// the (interference-inflated) observed times — mirror the engine.
-	sorted := append([]float64(nil), clean...)
-	sort.Float64s(sorted)
-	med := sorted[len(sorted)/2]
-	if len(sorted)%2 == 0 {
-		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	// clean is scratch and dead after the median, so sort it in place.
+	sort.Float64s(clean)
+	med := clean[len(clean)/2]
+	if len(clean)%2 == 0 {
+		med = (clean[len(clean)/2-1] + clean[len(clean)/2]) / 2
 	}
 	deadline := ctx.StragglerFactor() * med
 
@@ -116,31 +141,35 @@ func evaluateCluster(ctx *sim.RoundContext, members []int) clusterEval {
 	return clusterEval{members: members, score: progress / fleetEnergy, deadline: deadline}
 }
 
-// pickMembers returns the cluster's members: within each tier, the
-// devices with the best current member score.
-func pickMembers(ctx *sim.RoundContext, c Cluster) []int {
+// pickMembers fills sc.members with the cluster's members: within each
+// tier, the devices with the best current member score.
+func pickMembers(ctx *sim.RoundContext, c Cluster, sc *oracleScratch) []int {
 	counts := c.Counts()
-	var members []int
+	members := sc.members[:0]
 	for cat := 0; cat < device.NumCategories; cat++ {
 		want := counts[cat]
 		if want == 0 {
 			continue
 		}
-		type scored struct {
-			idx   int
-			score float64
-		}
-		var pool []scored
+		pool := sc.pool[:0]
 		for i := range ctx.Devices {
 			if ctx.Devices[i].Device.Category() == device.Category(cat) {
-				pool = append(pool, scored{i, memberScore(ctx, i)})
+				pool = append(pool, scoredDevice{i, memberScore(ctx, i)})
 			}
 		}
-		sort.Slice(pool, func(a, b int) bool {
-			if pool[a].score != pool[b].score {
-				return pool[a].score > pool[b].score
+		sc.pool = pool
+		// The (score desc, idx asc) comparator is a total order, so any
+		// sort yields the same result; SortFunc avoids the interface
+		// boxing sort.Slice pays per call.
+		slices.SortFunc(pool, func(a, b scoredDevice) int {
+			switch {
+			case a.score > b.score:
+				return -1
+			case a.score < b.score:
+				return 1
+			default:
+				return a.idx - b.idx
 			}
-			return pool[a].idx < pool[b].idx
 		})
 		if want > len(pool) {
 			want = len(pool)
@@ -149,19 +178,29 @@ func pickMembers(ctx *sim.RoundContext, c Cluster) []int {
 			members = append(members, s.idx)
 		}
 	}
+	sc.members = members
 	return members
 }
 
 // bestCluster evaluates every Table 4 candidate (scaled to K) and
-// returns the winner's members and projected deadline.
-func bestCluster(ctx *sim.RoundContext) clusterEval {
+// returns the winner's members (in sc.best, valid until the next call)
+// and projected deadline.
+// table4 caches the candidate set so the per-round search does not
+// rebuild it; Cluster values are copied out, never mutated.
+var table4 = Table4()
+
+func bestCluster(ctx *sim.RoundContext, sc *oracleScratch) clusterEval {
 	var best clusterEval
 	first := true
-	for _, c := range Table4() {
-		members := pickMembers(ctx, c.Scaled(ctx.Params.K))
-		eval := evaluateCluster(ctx, members)
+	for _, c := range table4 {
+		members := pickMembers(ctx, c.Scaled(ctx.Params.K), sc)
+		eval := evaluateCluster(ctx, members, sc)
 		if first || eval.score > best.score {
+			// eval.members aliases the reused sc.members buffer; keep
+			// the incumbent winner in its own buffer.
+			sc.best = append(sc.best[:0], eval.members...)
 			best = eval
+			best.members = sc.best
 			first = false
 		}
 	}
@@ -169,10 +208,14 @@ func bestCluster(ctx *sim.RoundContext) clusterEval {
 }
 
 // OParticipant is the participant-selection oracle.
-type OParticipant struct{}
+type OParticipant struct {
+	sc oracleScratch
+}
 
-// NewOParticipant builds the oracle. It is stateless and
-// deterministic.
+// NewOParticipant builds the oracle. It is deterministic (the scratch
+// state is reused buffers only), but — like the seeded policies — an
+// instance must not be shared by concurrently running engines; build
+// one per run.
 func NewOParticipant() *OParticipant { return &OParticipant{} }
 
 // Name implements sim.Policy.
@@ -180,14 +223,23 @@ func (p *OParticipant) Name() string { return "Oparticipant" }
 
 // Select implements sim.Policy.
 func (p *OParticipant) Select(ctx *sim.RoundContext) []sim.Selection {
-	return topStepSelections(bestCluster(ctx).members)
+	eval := bestCluster(ctx, &p.sc)
+	out := p.sc.sels[:0]
+	for _, idx := range eval.members {
+		out = append(out, sim.Selection{Index: idx, Target: device.CPU, Step: -1})
+	}
+	p.sc.sels = out
+	return out
 }
 
 // OFL is the full oracle: optimal participants plus optimal execution
 // targets and DVFS steps.
-type OFL struct{}
+type OFL struct {
+	sc oracleScratch
+}
 
-// NewOFL builds the full oracle.
+// NewOFL builds the full oracle. Deterministic, but an instance must
+// not be shared by concurrently running engines; build one per run.
 func NewOFL() *OFL { return &OFL{} }
 
 // Name implements sim.Policy.
@@ -195,8 +247,8 @@ func (p *OFL) Name() string { return "OFL" }
 
 // Select implements sim.Policy.
 func (p *OFL) Select(ctx *sim.RoundContext) []sim.Selection {
-	eval := bestCluster(ctx)
-	out := make([]sim.Selection, 0, len(eval.members))
+	eval := bestCluster(ctx, &p.sc)
+	out := p.sc.sels[:0]
 	for _, idx := range eval.members {
 		// Leave headroom below the deadline so a surprise co-runner
 		// does not immediately turn a slack-stretched device into a
@@ -204,6 +256,7 @@ func (p *OFL) Select(ctx *sim.RoundContext) []sim.Selection {
 		target, step := BestAction(ctx, idx, 0.85*eval.deadline)
 		out = append(out, sim.Selection{Index: idx, Target: target, Step: step})
 	}
+	p.sc.sels = out
 	return out
 }
 

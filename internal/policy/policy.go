@@ -18,8 +18,6 @@
 package policy
 
 import (
-	"sort"
-
 	"autofl/internal/device"
 	"autofl/internal/rng"
 	"autofl/internal/sim"
@@ -47,26 +45,33 @@ func (c Cluster) Scaled(k int) Cluster {
 	if total == 0 || k == total {
 		return c
 	}
-	counts := []int{c.H, c.M, c.L}
-	out := make([]int, 3)
+	counts := [3]int{c.H, c.M, c.L}
 	type rem struct {
 		idx  int
 		frac float64
 	}
-	rems := make([]rem, 0, 3)
+	var out [3]int
+	var rems [3]rem
 	assigned := 0
 	for i, n := range counts {
 		exact := float64(n) * float64(k) / float64(total)
 		out[i] = int(exact)
 		assigned += out[i]
-		rems = append(rems, rem{i, exact - float64(out[i])})
+		rems[i] = rem{i, exact - float64(out[i])}
 	}
-	sort.Slice(rems, func(i, j int) bool {
-		if rems[i].frac != rems[j].frac {
-			return rems[i].frac > rems[j].frac
+	// Largest remainder first, index as the deterministic tie-break;
+	// three elements, sorted in place without the sort package.
+	less := func(a, b rem) bool {
+		if a.frac != b.frac {
+			return a.frac > b.frac
 		}
-		return rems[i].idx < rems[j].idx
-	})
+		return a.idx < b.idx
+	}
+	for i := 1; i < len(rems); i++ {
+		for j := i; j > 0 && less(rems[j], rems[j-1]); j-- {
+			rems[j], rems[j-1] = rems[j-1], rems[j]
+		}
+	}
 	for i := 0; assigned < k; i = (i + 1) % len(rems) {
 		out[rems[i].idx]++
 		assigned++

@@ -387,3 +387,18 @@ func TestOracleDeterminism(t *testing.T) {
 		t.Error("oracle runs with equal seeds must be identical")
 	}
 }
+
+func TestOracleSelectSteadyStateAllocFree(t *testing.T) {
+	// The oracles' exhaustive per-round candidate search runs entirely
+	// in reused scratch: once warmed, Select must not allocate.
+	eng := sim.New(sim.Config{Seed: 15})
+	ofl := NewOFL()
+	ctx, _ := eng.RunRound(ofl, 0, 0.5)
+	if avg := testing.AllocsPerRun(50, func() { _ = ofl.Select(ctx) }); avg != 0 {
+		t.Errorf("steady-state OFL.Select allocated %.2f/run, want 0", avg)
+	}
+	op := NewOParticipant()
+	if avg := testing.AllocsPerRun(50, func() { _ = op.Select(ctx) }); avg != 0 {
+		t.Errorf("steady-state OParticipant.Select allocated %.2f/run, want 0", avg)
+	}
+}

@@ -1,0 +1,215 @@
+package qlearn
+
+import (
+	"autofl/internal/rng"
+)
+
+// StateKey is a packed integer state: every Table 1 feature bucket
+// occupies one digit of a mixed-radix encoding (see internal/core's
+// StateCoder). A StateKey compares, hashes, and copies as a single
+// machine word, which is what lets the dense table's hot path run
+// without allocating — the string form built by JoinState is kept only
+// for debugging and serialization.
+type StateKey uint64
+
+// Dense is a slice-backed Q-table over packed StateKeys: a compact
+// interner maps each *visited* state to a dense row number, and all
+// action values live in one flat []float64 indexed by
+// row*numActions+action. Compared to the string-keyed Table this
+// removes per-read key construction, per-row map allocation, and the
+// sort inside argmax; steady-state reads and updates are
+// allocation-free.
+//
+// The write/read contract matches Table: rows are created only by
+// Touch, Set, and Update; Q, Best, BestAt, and BestValue are
+// side-effect free and report the Init prior for never-visited states.
+type Dense struct {
+	numActions int
+	index      map[StateKey]int32 // visited-state interner: state → row
+	values     []float64          // row-major action values
+	initRng    *rng.Stream
+
+	// Init, when set, supplies the base value for lazily-created rows
+	// (a small random jitter is still added per entry for
+	// tie-breaking), exactly as on Table.
+	Init func() float64
+}
+
+// NewDense creates a dense Q-table over numActions actions. The rng
+// stream drives random initialization of lazily-created rows with the
+// same draw sequence as Table (one Float64 per action, in action
+// order), so a Dense and a Table seeded alike produce identical
+// values.
+func NewDense(numActions int, s *rng.Stream) *Dense {
+	if numActions <= 0 {
+		panic("qlearn: NewDense requires at least one action")
+	}
+	return &Dense{
+		numActions: numActions,
+		index:      make(map[StateKey]int32),
+		initRng:    s,
+	}
+}
+
+// NumActions returns the size of the action index space.
+func (t *Dense) NumActions() int { return t.numActions }
+
+// base returns the prior value for entries of not-yet-created rows.
+func (t *Dense) base() float64 {
+	if t.Init != nil {
+		return t.Init()
+	}
+	return 0
+}
+
+// Touch materializes the row for s (drawing its random initialization
+// now) and returns its row handle. Decision paths call it to pin
+// exactly when a state's init values are drawn; the returned handle
+// feeds the *At accessors without a second interner lookup.
+func (t *Dense) Touch(s StateKey) int32 {
+	if row, ok := t.index[s]; ok {
+		return row
+	}
+	row := int32(len(t.values) / t.numActions)
+	base := t.base()
+	for i := 0; i < t.numActions; i++ {
+		// Small random init breaks ties during early exploration.
+		t.values = append(t.values, base+t.initRng.Float64()*1e-3)
+	}
+	t.index[s] = row
+	return row
+}
+
+// Row returns the row handle for s and whether s has been visited. It
+// is a pure read.
+func (t *Dense) Row(s StateKey) (int32, bool) {
+	row, ok := t.index[s]
+	return row, ok
+}
+
+// Q returns the current value estimate for (s, a). Pure read: a
+// never-visited state reports the Init prior without jitter.
+func (t *Dense) Q(s StateKey, a int) float64 {
+	if row, ok := t.index[s]; ok {
+		return t.values[int(row)*t.numActions+a]
+	}
+	return t.base()
+}
+
+// QAt reads an entry through a row handle obtained from Touch or Row.
+func (t *Dense) QAt(row int32, a int) float64 {
+	return t.values[int(row)*t.numActions+a]
+}
+
+// Set overwrites the value for (s, a), creating the row if absent.
+func (t *Dense) Set(s StateKey, a int, v float64) {
+	row := t.Touch(s)
+	t.values[int(row)*t.numActions+a] = v
+}
+
+// BestAt returns the argmax action index and value of a materialized
+// row: a linear scan over the row's contiguous values, no allocation,
+// no sort. Ties break to the lowest action index — with actions
+// registered in name order this matches Table's sorted-name
+// tie-breaking.
+func (t *Dense) BestAt(row int32) (int, float64) {
+	off := int(row) * t.numActions
+	best, bestV := 0, t.values[off]
+	for a := 1; a < t.numActions; a++ {
+		if v := t.values[off+a]; v > bestV {
+			best, bestV = a, v
+		}
+	}
+	return best, bestV
+}
+
+// Best returns the argmax action index and value for s. Pure read: a
+// never-visited state reports action 0 at the Init prior.
+func (t *Dense) Best(s StateKey) (int, float64) {
+	if row, ok := t.index[s]; ok {
+		return t.BestAt(row)
+	}
+	return 0, t.base()
+}
+
+// BestValue returns max_a Q(s, a) — the device-ranking score Algorithm
+// 1 sorts by.
+func (t *Dense) BestValue(s StateKey) float64 {
+	_, v := t.Best(s)
+	return v
+}
+
+// Update applies the Algorithm 1 value update for the transition
+// (s, a) → (s', a') with reward r. As a write, it creates the row for
+// s; the (s', a') operand is a pure read.
+func (t *Dense) Update(s StateKey, a int, reward float64, sNext StateKey, aNext int, learningRate, discount float64) {
+	row := t.Touch(s)
+	i := int(row)*t.numActions + a
+	cur := t.values[i]
+	target := reward + discount*t.Q(sNext, aNext)
+	t.values[i] = cur + learningRate*(target-cur)
+}
+
+// UpdateAt is Update through row handles, for callers that already
+// hold both rows: no interner lookups at all.
+func (t *Dense) UpdateAt(row int32, a int, reward float64, rowNext int32, aNext int, learningRate, discount float64) {
+	i := int(row)*t.numActions + a
+	cur := t.values[i]
+	target := reward + discount*t.values[int(rowNext)*t.numActions+aNext]
+	t.values[i] = cur + learningRate*(target-cur)
+}
+
+// States returns the number of distinct states the table has visited.
+func (t *Dense) States() int { return len(t.index) }
+
+// MemoryBytes estimates the table's resident size for the §6.4
+// footprint analysis: the flat value array (8 bytes per entry, counted
+// at capacity since append over-allocates) plus the interner map
+// (12 bytes of key+value per entry plus Go map bucket overhead,
+// ~48 bytes per entry in total) and the struct itself.
+func (t *Dense) MemoryBytes() int {
+	return cap(t.values)*8 + len(t.index)*48 + 96
+}
+
+// DenseAgent couples a Dense Q-table with the epsilon-greedy policy
+// and the paper's hyperparameters, mirroring Agent over the packed
+// representation. Actions are integer indices into a caller-held
+// action ordering.
+type DenseAgent struct {
+	Table *Dense
+	// LearningRate is γ in the paper's Algorithm 1.
+	LearningRate float64
+	// Discount is µ.
+	Discount float64
+	// Epsilon is the exploration probability.
+	Epsilon float64
+
+	explore *rng.Stream
+}
+
+// NewDenseAgent builds an agent with the paper's default
+// hyperparameters. It forks the parent stream in the same order as
+// NewAgent (table init first, exploration second), so a DenseAgent and
+// an Agent built from identical streams stay draw-for-draw aligned.
+func NewDenseAgent(numActions int, s *rng.Stream) *DenseAgent {
+	return &DenseAgent{
+		Table:        NewDense(numActions, s.Fork()),
+		LearningRate: DefaultLearningRate,
+		Discount:     DefaultDiscount,
+		Epsilon:      DefaultEpsilon,
+		explore:      s.Fork(),
+	}
+}
+
+// Explore reports whether this decision should be exploratory (a
+// uniform-random draw below epsilon), per Algorithm 1.
+func (a *DenseAgent) Explore() bool { return a.explore.Bool(a.Epsilon) }
+
+// RandomAction returns a uniformly random action index, used on
+// exploration steps.
+func (a *DenseAgent) RandomAction() int { return a.explore.IntN(a.Table.numActions) }
+
+// Learn applies the update rule with the agent's hyperparameters.
+func (a *DenseAgent) Learn(s StateKey, act int, reward float64, sNext StateKey, aNext int) {
+	a.Table.Update(s, act, reward, sNext, aNext, a.LearningRate, a.Discount)
+}

@@ -10,6 +10,7 @@ func TestInitPriorSeedsFreshRows(t *testing.T) {
 	tb := NewTable([]Action{"a", "b"}, rng.New(1))
 	prior := 5.0
 	tb.Init = func() float64 { return prior }
+	tb.Touch("fresh")
 	v := tb.Q("fresh", "a")
 	if v < 5 || v >= 5.001 {
 		t.Errorf("fresh row value = %v, want prior 5 plus tiny jitter", v)
@@ -19,6 +20,7 @@ func TestInitPriorSeedsFreshRows(t *testing.T) {
 	if got := tb.Q("fresh", "a"); got != v {
 		t.Error("existing rows must not move when the prior changes")
 	}
+	tb.Touch("fresh2")
 	v2 := tb.Q("fresh2", "b")
 	if v2 > -2.99 || v2 < -3 {
 		t.Errorf("second fresh row = %v, want prior -3 plus jitter", v2)
@@ -44,7 +46,8 @@ func TestInitPriorPreservesOrdering(t *testing.T) {
 
 func TestNoInitDefaultsToSmallRandom(t *testing.T) {
 	tb := NewTable([]Action{"a"}, rng.New(3))
-	if v := tb.Q("s", "a"); v < 0 || v >= 1e-3 {
-		t.Errorf("default init = %v, want [0, 1e-3)", v)
+	tb.Touch("s")
+	if v := tb.Q("s", "a"); v <= 0 || v >= 1e-3 {
+		t.Errorf("default init = %v, want (0, 1e-3)", v)
 	}
 }

@@ -34,12 +34,19 @@ type State string
 type Action string
 
 // Table is one Q-table: accumulated rewards per (state, action) pair.
-// Entries are initialized lazily with small random values, matching
+// Rows are initialized lazily with small random values, matching
 // Algorithm 1's "initialize Q with random values" without allocating
-// the full (huge) cross product up front.
+// the full (huge) cross product up front. Rows are created only by the
+// write path (Touch, Set, Update); reads (Q, Best, BestValue) are
+// side-effect free and report the Init prior for never-visited states.
+//
+// Table keys states by string and is kept for debugging,
+// serialization, and tests; the controller hot path uses the packed
+// Dense table instead.
 type Table struct {
 	q       map[State]map[Action]float64
-	actions []Action
+	actions []Action // caller-supplied order (the action index space)
+	ordered []Action // sorted by name, for deterministic argmax
 	initRng *rng.Stream
 
 	// Init, when set, supplies the base value for lazily-created
@@ -58,9 +65,12 @@ func NewTable(actions []Action, s *rng.Stream) *Table {
 		panic("qlearn: NewTable requires at least one action")
 	}
 	cp := append([]Action(nil), actions...)
+	ordered := append([]Action(nil), actions...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	return &Table{
 		q:       make(map[State]map[Action]float64),
 		actions: cp,
+		ordered: ordered,
 		initRng: s,
 	}
 }
@@ -69,14 +79,21 @@ func NewTable(actions []Action, s *rng.Stream) *Table {
 // not mutate).
 func (t *Table) Actions() []Action { return t.actions }
 
+// base returns the prior value for entries of not-yet-created rows.
+func (t *Table) base() float64 {
+	if t.Init != nil {
+		return t.Init()
+	}
+	return 0
+}
+
 // row returns (creating if needed) the action-value row for a state.
+// Only the write path calls it: row creation draws from initRng, and
+// letting reads do that made results depend on read order.
 func (t *Table) row(s State) map[Action]float64 {
 	r, ok := t.q[s]
 	if !ok {
-		base := 0.0
-		if t.Init != nil {
-			base = t.Init()
-		}
+		base := t.base()
 		r = make(map[Action]float64, len(t.actions))
 		for _, a := range t.actions {
 			// Small random init breaks ties during early exploration.
@@ -87,27 +104,38 @@ func (t *Table) row(s State) map[Action]float64 {
 	return r
 }
 
-// Q returns the current value estimate for (s, a).
-func (t *Table) Q(s State, a Action) float64 { return t.row(s)[a] }
+// Touch materializes the row for s, drawing its random initialization
+// now. Decision paths call it to pin exactly when a state's init
+// values are drawn; subsequent reads are then stable.
+func (t *Table) Touch(s State) { t.row(s) }
+
+// Q returns the current value estimate for (s, a). It is side-effect
+// free: reading a never-visited state reports the Init prior (with no
+// jitter) and neither creates the row nor advances the init stream.
+func (t *Table) Q(s State, a Action) float64 {
+	if r, ok := t.q[s]; ok {
+		return r[a]
+	}
+	return t.base()
+}
 
 // Set overwrites the value for (s, a); primarily for tests and
-// deserialization.
+// deserialization. Creates the row if absent.
 func (t *Table) Set(s State, a Action, v float64) { t.row(s)[a] = v }
 
 // Best returns the action with the highest value in state s, and that
 // value. Ties break deterministically by action name so runs are
-// reproducible.
+// reproducible. Like Q, it is a pure read: a never-visited state
+// reports the name-first action at the Init prior.
 func (t *Table) Best(s State) (Action, float64) {
-	r := t.row(s)
+	r, ok := t.q[s]
+	if !ok {
+		return t.ordered[0], t.base()
+	}
 	best, bestV := Action(""), 0.0
 	first := true
-	keys := make([]Action, 0, len(r))
-	for a := range r {
-		keys = append(keys, a)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, a := range keys {
-		if v := r[a]; first || v > bestV {
+	for _, a := range t.ordered {
+		if v, seen := r[a]; seen && (first || v > bestV) {
 			best, bestV, first = a, v, false
 		}
 	}
@@ -122,11 +150,13 @@ func (t *Table) BestValue(s State) float64 {
 }
 
 // Update applies the Algorithm 1 value update for the transition
-// (s, a) → (s', a') with reward r.
+// (s, a) → (s', a') with reward r. As a write, it creates the row for
+// s; the (s', a') operand is a pure read.
 func (t *Table) Update(s State, a Action, reward float64, sNext State, aNext Action, learningRate, discount float64) {
-	cur := t.Q(s, a)
+	r := t.row(s)
+	cur := r[a]
 	target := reward + discount*t.Q(sNext, aNext)
-	t.Set(s, a, cur+learningRate*(target-cur))
+	r[a] = cur + learningRate*(target-cur)
 }
 
 // States returns the number of distinct states the table has touched.

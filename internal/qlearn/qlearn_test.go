@@ -12,12 +12,50 @@ func actions() []Action { return []Action{"cpu@0", "cpu@1", "gpu@0"} }
 
 func TestLazyInitSmallRandom(t *testing.T) {
 	tb := NewTable(actions(), rng.New(1))
+	tb.Touch("s0")
 	v := tb.Q("s0", "cpu@0")
-	if v < 0 || v >= 1e-3 {
-		t.Errorf("initial Q = %v, want small random in [0, 1e-3)", v)
+	if v <= 0 || v >= 1e-3 {
+		t.Errorf("initial Q = %v, want small random in (0, 1e-3)", v)
 	}
 	if tb.Q("s0", "cpu@0") != v {
 		t.Error("repeated reads must return the same initialized value")
+	}
+}
+
+func TestReadsAreSideEffectFree(t *testing.T) {
+	// Q/Best/BestValue on never-visited states must not create rows or
+	// advance the init stream: two identically seeded tables must draw
+	// identical init values for a state regardless of how many unseen
+	// states were read in between (the old create-on-read behavior made
+	// results depend on read order).
+	a := NewTable(actions(), rng.New(21))
+	b := NewTable(actions(), rng.New(21))
+	for i := 0; i < 50; i++ {
+		_ = a.Q(State(JoinState("unseen", string(rune('a'+i)))), "cpu@0")
+		_, _ = a.Best("another-unseen")
+		_ = a.BestValue("yet-another")
+	}
+	if a.States() != 0 {
+		t.Fatalf("pure reads created %d states", a.States())
+	}
+	a.Touch("s")
+	b.Touch("s")
+	for _, act := range actions() {
+		if a.Q("s", act) != b.Q("s", act) {
+			t.Fatalf("reads advanced the init stream: %v vs %v", a.Q("s", act), b.Q("s", act))
+		}
+	}
+}
+
+func TestUnseenStateReadsReportPrior(t *testing.T) {
+	tb := NewTable(actions(), rng.New(22))
+	tb.Init = func() float64 { return 2.5 }
+	if got := tb.Q("unseen", "cpu@1"); got != 2.5 {
+		t.Errorf("unseen Q = %v, want Init prior 2.5", got)
+	}
+	a, v := tb.Best("unseen")
+	if a != "cpu@0" || v != 2.5 {
+		t.Errorf("unseen Best = (%s, %v), want name-first action at the prior", a, v)
 	}
 }
 
@@ -155,8 +193,8 @@ func TestStatesAndMemoryAccounting(t *testing.T) {
 	if tb.States() != 0 {
 		t.Error("fresh table should have no states")
 	}
-	tb.Q("a", "cpu@0")
-	tb.Q("b", "cpu@0")
+	tb.Touch("a")
+	tb.Touch("b")
 	if tb.States() != 2 {
 		t.Errorf("States = %d, want 2", tb.States())
 	}
@@ -164,7 +202,7 @@ func TestStatesAndMemoryAccounting(t *testing.T) {
 		t.Error("MemoryBytes should be positive for a non-empty table")
 	}
 	grown := tb.MemoryBytes()
-	tb.Q("c", "cpu@0")
+	tb.Touch("c")
 	if tb.MemoryBytes() <= grown {
 		t.Error("MemoryBytes should grow with states")
 	}

@@ -160,6 +160,21 @@ func (s *Stream) Categorical(weights []float64) int {
 // Perm returns a random permutation of [0, n).
 func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
 
+// PermInto fills p with a random permutation of [0, len(p)) without
+// allocating. It consumes exactly the same variates as Perm(len(p)),
+// so the two are interchangeable in reproducibility-sensitive code.
+func (s *Stream) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	// Mirror of math/rand/v2's Shuffle (which Perm delegates to): one
+	// IntN(i+1) draw per position, descending.
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.r.IntN(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
 // Shuffle randomizes the order of n elements using the provided swap
 // function.
 func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }

@@ -292,3 +292,32 @@ func TestCategoricalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	// PermInto must consume exactly the same variates as Perm, so code
+	// switching between them for allocation reasons cannot perturb
+	// reproducibility-sensitive draw sequences.
+	for _, n := range []int{0, 1, 2, 5, 40, 200} {
+		a, b := New(uint64(n)+101), New(uint64(n)+101)
+		want := a.Perm(n)
+		buf := make([]int, n)
+		b.PermInto(buf)
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("n=%d: PermInto diverged from Perm at %d: %v vs %v", n, i, buf, want)
+			}
+		}
+		// And the streams must be in identical states afterwards.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: stream states diverged after Perm vs PermInto", n)
+		}
+	}
+}
+
+func TestPermIntoAllocFree(t *testing.T) {
+	s := New(77)
+	buf := make([]int, 64)
+	if avg := testing.AllocsPerRun(100, func() { s.PermInto(buf) }); avg != 0 {
+		t.Errorf("PermInto allocated %.1f times per run, want 0", avg)
+	}
+}

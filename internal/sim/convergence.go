@@ -53,8 +53,13 @@ type convergenceModel struct {
 	// a stable pool (what a learned selector does while dodging
 	// interference) keeps the effective training distribution
 	// stationary, like block-cyclic sampling; resampling the whole
-	// population does not.
-	emaPart map[int]float64
+	// population does not. Indexed by device; a zero entry means no
+	// recent participation.
+	emaPart []float64
+	// kept and classSeen are per-round scratch, reused across rounds
+	// so advance allocates nothing in steady state.
+	kept      []bool
+	classSeen []bool
 }
 
 // Convergence-model calibration. plateauMid/plateauScale place the
@@ -83,6 +88,7 @@ const referenceK = 20
 func newConvergenceModel(cfg *Config) *convergenceModel {
 	w := cfg.Workload
 	ref := referenceK * float64(cfg.Params.E) * float64(w.Dataset.SamplesPerDevice)
+	n := len(cfg.Fleet)
 	return &convergenceModel{
 		floor:         w.AccuracyFloor,
 		ceiling:       w.AccuracyCeiling,
@@ -90,7 +96,9 @@ func newConvergenceModel(cfg *Config) *convergenceModel {
 		classes:       w.Dataset.Classes,
 		referenceMass: ref,
 		noiseSigma:    progressNoise,
-		emaPart:       map[int]float64{},
+		emaPart:       make([]float64, n),
+		kept:          make([]bool, n),
+		classSeen:     make([]bool, w.Dataset.Classes),
 	}
 }
 
@@ -119,8 +127,15 @@ func (m *convergenceModel) advance(s *rng.Stream, ctx *RoundContext, res *RoundR
 
 	// Aggregate kept update mass, quality, coverage and stability.
 	mass, qualMass := 0.0, 0.0
-	kept := map[int]bool{}
-	classes := map[int]bool{}
+	kept := m.kept
+	for i := range kept {
+		kept[i] = false
+	}
+	classSeen := m.classSeen
+	for i := range classSeen {
+		classSeen[i] = false
+	}
+	keptCount, classCount := 0, 0
 	stability := 0.0
 	for i := range res.Devices {
 		dr := &res.Devices[i]
@@ -136,20 +151,24 @@ func (m *convergenceModel) advance(s *rng.Stream, ctx *RoundContext, res *RoundR
 		mass += w
 		qualMass += w * quality(d, traits)
 		kept[i] = true
+		keptCount++
 		stability += m.emaPart[i]
 		for _, c := range d.Classes {
-			classes[c] = true
+			if !classSeen[c] {
+				classSeen[c] = true
+				classCount++
+			}
 		}
 	}
-	// Update the participation memory for every device.
+	// Update the participation memory for every device. Weights that
+	// decay below the floor reset to zero (no recent participation).
 	for i := range res.Devices {
 		w := m.emaPart[i] * emaDecay
 		if kept[i] {
 			w += 1 - emaDecay
 		}
 		if w < 1e-6 {
-			delete(m.emaPart, i)
-			continue
+			w = 0
 		}
 		m.emaPart[i] = w
 	}
@@ -157,11 +176,11 @@ func (m *convergenceModel) advance(s *rng.Stream, ctx *RoundContext, res *RoundR
 		return acc // nothing aggregated; the model is unchanged
 	}
 	meanQ := qualMass / mass
-	coverage := float64(len(classes)) / float64(m.classes)
+	coverage := float64(classCount) / float64(m.classes)
 	// stability is the mean recent-participation weight of today's
 	// cohort: ~1 for a fixed cohort, ~K/N for population resampling,
 	// and in between for rotation within a stable pool.
-	stability /= float64(len(kept))
+	stability /= float64(keptCount)
 	if stability > 1 {
 		stability = 1
 	}

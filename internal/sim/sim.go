@@ -166,6 +166,10 @@ type Selection struct {
 // Policy selects the participants (and their execution targets) for
 // each round. Implementations must be deterministic given their own
 // seeded randomness so runs reproduce.
+//
+// The engine treats the returned slice as borrowed: it copies what it
+// needs before the next Select call, so policies may return an
+// internal buffer they reuse across rounds.
 type Policy interface {
 	// Name identifies the policy in results and experiment output.
 	Name() string
@@ -175,6 +179,10 @@ type Policy interface {
 
 // FeedbackPolicy is implemented by learning policies (AutoFL) that
 // consume the measured outcome of each round.
+//
+// Inside Engine.Run the context and result passed to Feedback live in
+// engine-owned buffers that the next round reuses; policies must not
+// retain them past the callback.
 type FeedbackPolicy interface {
 	Policy
 	// Feedback delivers the completed round's results: the paper's
@@ -455,6 +463,22 @@ type Engine struct {
 	accRng    *rng.Stream
 	partition []data.DeviceData
 	conv      *convergenceModel
+
+	// scratch holds the Run loop's reusable round buffers; the
+	// exported RunRound allocates fresh ones per call so its returned
+	// snapshots stay independent.
+	scratch roundScratch
+}
+
+// roundScratch is one round's worth of engine-owned buffers, reused
+// across rounds so the steady-state loop performs no per-round
+// allocation for contexts, device states, or outcome records.
+type roundScratch struct {
+	ctx   RoundContext
+	res   RoundResult
+	clean []float64   // per-participant clean completion times
+	seen  []bool      // sanitize dedup, indexed by device
+	sels  []Selection // sanitized selections
 }
 
 // New builds an engine. The device data partition is drawn once (local
@@ -481,19 +505,26 @@ func (e *Engine) Config() Config { return e.cfg }
 // Partition exposes the static device data assignment.
 func (e *Engine) Partition() []data.DeviceData { return e.partition }
 
-// observe samples the round's runtime variance for every device.
-func (e *Engine) observe(round int, accuracy float64) *RoundContext {
-	ctx := &RoundContext{
+// observe samples the round's runtime variance for every device into
+// the scratch context.
+func (e *Engine) observe(sc *roundScratch, round int, accuracy float64) *RoundContext {
+	n := len(e.cfg.Fleet)
+	devices := sc.ctx.Devices
+	if cap(devices) < n {
+		devices = make([]DeviceState, n)
+	}
+	devices = devices[:n]
+	sc.ctx = RoundContext{
 		Round:    round,
 		Accuracy: accuracy,
 		Workload: e.cfg.Workload,
 		Params:   e.cfg.Params,
-		Devices:  make([]DeviceState, len(e.cfg.Fleet)),
+		Devices:  devices,
 		cfg:      &e.cfg,
 	}
 	for i, d := range e.cfg.Fleet {
 		bw := e.cfg.Env.Network.Sample(e.envRng)
-		ctx.Devices[i] = DeviceState{
+		devices[i] = DeviceState{
 			Device:        d,
 			Load:          e.cfg.Env.Interference.Sample(e.envRng),
 			BandwidthMbps: bw,
@@ -501,26 +532,40 @@ func (e *Engine) observe(round int, accuracy float64) *RoundContext {
 			Data:          &e.partition[i],
 		}
 	}
-	return ctx
+	return &sc.ctx
 }
 
 // RunRound executes one aggregation round with the given policy and
 // current accuracy, returning the context it observed and the measured
 // result. It is exported for step-by-step callers (the TCP server and
-// the experiment harness); Run loops it.
+// the experiment harness); each call returns freshly allocated
+// snapshots. Run loops the same logic over the engine's reusable
+// buffers instead.
 func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext, *RoundResult) {
-	ctx := e.observe(round, accuracy)
-	selections := sanitize(ctx, p.Select(ctx))
+	return e.runRound(p, round, accuracy, new(roundScratch))
+}
+
+// runRound is the round engine proper, operating on caller-provided
+// scratch buffers.
+func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratch) (*RoundContext, *RoundResult) {
+	ctx := e.observe(sc, round, accuracy)
+	selections := sanitize(sc, ctx, p.Select(ctx))
 
 	traits := AggregationTraits{}
 	if tp, ok := p.(TraitsPolicy); ok {
 		traits = tp.Traits()
 	}
 
-	res := &RoundResult{
+	res := &sc.res
+	devRounds := res.Devices
+	if cap(devRounds) < len(ctx.Devices) {
+		devRounds = make([]DeviceRound, len(ctx.Devices))
+	}
+	devRounds = devRounds[:len(ctx.Devices)]
+	*res = RoundResult{
 		Round:        round,
 		PrevAccuracy: accuracy,
-		Devices:      make([]DeviceRound, len(ctx.Devices)),
+		Devices:      devRounds,
 	}
 	for i := range res.Devices {
 		res.Devices[i] = DeviceRound{Index: i}
@@ -529,7 +574,6 @@ func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext,
 	// Per-participant completion times, under the loads actually in
 	// effect during execution: a co-runner can appear (or quit) after
 	// selection — the surprise variance no selector can observe away.
-	totals := make([]float64, 0, len(selections))
 	for _, sel := range selections {
 		dr := &res.Devices[sel.Index]
 		dr.Selected = true
@@ -537,7 +581,6 @@ func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext,
 		dr.Step = sel.Step
 		actual := e.cfg.Env.Interference.Actual(e.envRng, ctx.Devices[sel.Index].Load)
 		dr.CompSec, dr.CommSec = ctx.estimateWithLoad(sel.Index, sel.Target, sel.Step, actual)
-		totals = append(totals, dr.CompSec+dr.CommSec)
 	}
 
 	// Straggler deadline: the server fixes a reporting deadline from
@@ -547,11 +590,12 @@ func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext,
 	// through it and are excluded, the §3.2 straggler problem.
 	deadline := math.Inf(1)
 	if len(selections) > 0 {
-		clean := make([]float64, 0, len(selections))
+		clean := sc.clean[:0]
 		for _, sel := range selections {
 			comp, comm := ctx.CleanCompletionTime(sel.Index)
 			clean = append(clean, comp+comm)
 		}
+		sc.clean = clean
 		deadline = e.cfg.StragglerFactor * median(clean)
 	}
 	res.Deadline = deadline
@@ -635,7 +679,7 @@ func (e *Engine) Run(p Policy) *Result {
 	}
 	fb, hasFeedback := p.(FeedbackPolicy)
 	for round := 0; round < e.cfg.MaxRounds; round++ {
-		ctx, res := e.RunRound(p, round, acc)
+		ctx, res := e.runRound(p, round, acc, &e.scratch)
 		if hasFeedback {
 			fb.Feedback(ctx, res)
 		}
@@ -663,12 +707,19 @@ func (e *Engine) Run(p Policy) *Result {
 }
 
 // sanitize deduplicates selections, clamps indices/steps, and truncates
-// to K participants.
-func sanitize(ctx *RoundContext, sels []Selection) []Selection {
-	seen := make(map[int]bool, len(sels))
-	out := make([]Selection, 0, len(sels))
+// to K participants, writing into the scratch selection buffer.
+func sanitize(sc *roundScratch, ctx *RoundContext, sels []Selection) []Selection {
+	n := len(ctx.Devices)
+	if cap(sc.seen) < n {
+		sc.seen = make([]bool, n)
+	}
+	seen := sc.seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
+	out := sc.sels[:0]
 	for _, s := range sels {
-		if s.Index < 0 || s.Index >= len(ctx.Devices) || seen[s.Index] {
+		if s.Index < 0 || s.Index >= n || seen[s.Index] {
 			continue
 		}
 		seen[s.Index] = true
@@ -681,23 +732,25 @@ func sanitize(ctx *RoundContext, sels []Selection) []Selection {
 			break
 		}
 	}
+	sc.sels = out
 	return out
 }
 
+// median sorts vals in place (callers pass scratch that is dead after
+// this) and returns the middle value.
 func median(vals []float64) float64 {
-	cp := append([]float64(nil), vals...)
 	// Insertion sort: participant counts are small (K <= ~50).
-	for i := 1; i < len(cp); i++ {
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
 		}
 	}
-	n := len(cp)
+	n := len(vals)
 	if n == 0 {
 		return 0
 	}
 	if n%2 == 1 {
-		return cp[n/2]
+		return vals[n/2]
 	}
-	return (cp[n/2-1] + cp[n/2]) / 2
+	return (vals[n/2-1] + vals[n/2]) / 2
 }

@@ -289,7 +289,7 @@ func TestIdleDevicesCheaperThanParticipants(t *testing.T) {
 
 func TestSanitizeClampsAndDedupes(t *testing.T) {
 	eng := New(quickCfg(12))
-	ctx := eng.observe(0, 0.1)
+	ctx := eng.observe(new(roundScratch), 0, 0.1)
 	raw := []Selection{
 		{Index: 5, Target: device.CPU, Step: 9999},
 		{Index: 5, Target: device.CPU, Step: 0}, // duplicate
@@ -297,7 +297,7 @@ func TestSanitizeClampsAndDedupes(t *testing.T) {
 		{Index: len(ctx.Devices), Target: device.CPU, Step: 0},
 		{Index: 6, Target: device.GPU, Step: -1},
 	}
-	out := sanitize(ctx, raw)
+	out := sanitize(new(roundScratch), ctx, raw)
 	if len(out) != 2 {
 		t.Fatalf("sanitize kept %d selections, want 2", len(out))
 	}
@@ -312,12 +312,12 @@ func TestSanitizeClampsAndDedupes(t *testing.T) {
 
 func TestSanitizeTruncatesToK(t *testing.T) {
 	eng := New(quickCfg(13))
-	ctx := eng.observe(0, 0.1)
+	ctx := eng.observe(new(roundScratch), 0, 0.1)
 	var raw []Selection
 	for i := 0; i < 50; i++ {
 		raw = append(raw, Selection{Index: i, Target: device.CPU, Step: -1})
 	}
-	out := sanitize(ctx, raw)
+	out := sanitize(new(roundScratch), ctx, raw)
 	if len(out) != ctx.Params.K {
 		t.Errorf("sanitize kept %d, want K=%d", len(out), ctx.Params.K)
 	}
