@@ -167,6 +167,9 @@ type Report struct {
 	Policy Policy
 	// Converged reports whether the accuracy target was reached.
 	Converged bool
+	// ConvergedRound is the 1-based round at which the target was
+	// reached; 0 means the run never converged.
+	ConvergedRound int
 	// Rounds executed (equals the convergence round when converged).
 	Rounds int
 	// TimeToTargetSec and EnergyToTargetJ cover the run until
@@ -277,20 +280,13 @@ func (s Scenario) policy(p Policy) (sim.Policy, error) {
 	}
 }
 
-// Run simulates the scenario under the given selection policy.
-func (s Scenario) Run(p Policy) (*Report, error) {
-	cfg, err := s.simConfig()
-	if err != nil {
-		return nil, err
-	}
-	pol, err := s.policy(p)
-	if err != nil {
-		return nil, err
-	}
-	res := sim.New(cfg).Run(pol)
+// reportFromResult converts an engine-level result into the public
+// report.
+func reportFromResult(p Policy, res *sim.Result) *Report {
 	return &Report{
 		Policy:          p,
 		Converged:       res.Converged,
+		ConvergedRound:  res.ConvergedRound,
 		Rounds:          res.Rounds,
 		TimeToTargetSec: res.TimeToTargetSec,
 		EnergyToTargetJ: res.EnergyToTargetJ,
@@ -299,7 +295,19 @@ func (s Scenario) Run(p Policy) (*Report, error) {
 		FinalAccuracy:   res.FinalAccuracy,
 		AccuracyTrace:   res.AccuracyTrace,
 		RewardTrace:     res.RewardTrace,
-	}, nil
+	}
+}
+
+// Run simulates the scenario under the given selection policy. It is
+// a Session stepped to completion — Open the scenario instead for
+// round-by-round control, observers, and early stopping.
+func (s Scenario) Run(p Policy) (*Report, error) {
+	sess, err := Open(s, p)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	return sess.Run(), nil
 }
 
 // RunAll simulates the scenario under each policy in turn.
@@ -366,7 +374,8 @@ func Compare(baseline Policy, reports []*Report) (*Comparison, error) {
 func reportToResult(r *Report) *sim.Result {
 	res := &sim.Result{
 		Policy:          string(r.Policy),
-		Converged:       r.Converged,
+		Converged:       reportConverged(r),
+		ConvergedRound:  r.ConvergedRound,
 		Rounds:          r.Rounds,
 		TimeToTargetSec: r.TimeToTargetSec,
 		EnergyToTargetJ: r.EnergyToTargetJ,
@@ -383,7 +392,7 @@ func reportToResult(r *Report) *sim.Result {
 	// Carry floor/target so Progress() reproduces the original value.
 	res.AccuracyFloor = 0
 	res.TargetAccuracy = 1
-	if r.Converged {
+	if res.Converged {
 		res.FinalAccuracy = 1
 	} else {
 		res.FinalAccuracy = progressOf(r)
@@ -391,8 +400,18 @@ func reportToResult(r *Report) *sim.Result {
 	return res
 }
 
+// reportConverged applies the never-converged guard to a report's
+// convergence claim: a report that says Converged while recording
+// neither a convergence round nor any executed rounds is the
+// never-converged zero value mislabeled. Normalizing it as full
+// progress would hand it an infinite efficiency edge in Compare;
+// treat it as no progress instead.
+func reportConverged(r *Report) bool {
+	return r.Converged && !(r.ConvergedRound == 0 && r.Rounds == 0)
+}
+
 func progressOf(r *Report) float64 {
-	if r.Converged {
+	if reportConverged(r) {
 		return 1
 	}
 	if r.EnergyToTargetJ > 0 && r.GlobalPPW > 0 {

@@ -17,15 +17,22 @@
 //	    -policies FedAvg-Random,AutoFL -replicates 3 \
 //	    -rounds 200 -format csv -out sweep.csv
 //
-// With -cache-dir, every completed cell is persisted, so an
-// interrupted run resumes where it stopped and an extended grid
-// executes only its new cells; -resume=false re-runs everything while
-// refreshing the cache. -schedule cost claims the costliest pending
-// cells first (output is byte-identical either way):
+// With -cache-dir, every completed cell is persisted with its
+// per-round trace, so an interrupted run resumes where it stopped, an
+// extended grid executes only its new cells, and a request at a
+// shorter horizon is served by truncating longer cached runs — a grid
+// swept at -rounds 1000 answers a later -rounds 200 query without
+// executing a single cell, byte-identical to a cold 200-round sweep.
+// (A longer horizon than any cached run re-executes only the
+// uncached/unserviceable cells.) -resume=false re-runs everything
+// while refreshing the cache. -schedule cost claims the costliest
+// pending cells first (output is byte-identical either way), and
+// -cache-gc compacts the store and exits:
 //
-//	autofl-sweep -cache-dir sweep.cache -rounds 200 -out grid.json
+//	autofl-sweep -cache-dir sweep.cache -rounds 1000 -out grid.json
 //	autofl-sweep -cache-dir sweep.cache -rounds 200 \
-//	    -replicates 2 -out grid2.json   # only the new replicate runs
+//	    -out grid200.json               # served entirely from the cache
+//	autofl-sweep -cache-dir sweep.cache -cache-gc
 package main
 
 import (
@@ -60,12 +67,24 @@ func main() {
 		list       = flag.Bool("list", false, "list axis values and exit")
 		cacheDir   = flag.String("cache-dir", "", "persistent result cache directory (empty = no cache)")
 		resume     = flag.Bool("resume", true, "serve cells already in -cache-dir instead of re-running them")
+		cacheGC    = flag.Bool("cache-gc", false, "compact -cache-dir (drop superseded duplicates and mismatched entries) and exit")
 		sched      = flag.String("schedule", "cost", "cell claim order: cost (longest predicted first) or fifo")
 	)
 	flag.Parse()
 
 	if *list {
 		listAxes()
+		return
+	}
+	if *cacheGC {
+		if *cacheDir == "" {
+			fatalf("-cache-gc requires -cache-dir")
+		}
+		kept, dropped, err := cache.GCDir(*cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "autofl-sweep: cache gc: kept %d entries, dropped %d lines\n", kept, dropped)
 		return
 	}
 	if *format != "json" && *format != "csv" {
@@ -156,6 +175,9 @@ func main() {
 		if runOpts.Cache != nil {
 			s := runOpts.Cache.Stats()
 			fmt.Fprintf(os.Stderr, " (%d cached, %d executed)", s.Hits, s.Misses)
+			if s.PrefixHits > 0 {
+				fmt.Fprintf(os.Stderr, " [%d replayed from longer-horizon entries]", s.PrefixHits)
+			}
 		}
 		fmt.Fprintln(os.Stderr)
 	}

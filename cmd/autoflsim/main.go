@@ -2,9 +2,13 @@
 // chosen selection policy (or all of them) and prints the measured
 // energy efficiency, convergence time, and accuracy.
 //
+// With -progress the run streams live per-round output to stderr
+// through the Session observer API while it executes.
+//
 // Examples:
 //
 //	autoflsim -policy AutoFL -workload CNN-MNIST -setting S3 -env field
+//	autoflsim -policy AutoFL -progress -rounds 300
 //	autoflsim -compare -data noniid75
 package main
 
@@ -27,6 +31,8 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "random seed (runs are reproducible per seed)")
 		rounds       = flag.Int("rounds", 0, "max aggregation rounds (0 = paper default 1000)")
 		compare      = flag.Bool("compare", false, "run every policy and normalize to FedAvg-Random")
+		progress     = flag.Bool("progress", false, "stream live per-round progress to stderr")
+		every        = flag.Int("progress-every", 25, "with -progress, print every Nth round")
 		list         = flag.Bool("list", false, "list available policies and exit")
 	)
 	flag.Parse()
@@ -54,11 +60,32 @@ func main() {
 		return
 	}
 
-	report, err := scenario.Run(autofl.Policy(*policyName))
+	// Single-policy runs go through the streaming Session API so
+	// -progress can observe every round as it completes.
+	sess, err := autofl.Open(scenario, autofl.Policy(*policyName))
 	if err != nil {
 		fatal(err)
 	}
-	printReport(report)
+	defer sess.Close()
+	if *progress {
+		n := *every
+		if n < 1 {
+			n = 1
+		}
+		sess.Observe(func(ev autofl.RoundEvent) {
+			if ev.Round%n != 0 && !ev.Converged {
+				return
+			}
+			fmt.Fprintf(os.Stderr,
+				"round %4d: acc=%.3f round=%.0fs energy=%.0fJ kept=%d/%d dropped=%d\n",
+				ev.Round, ev.Accuracy, ev.RoundSec, ev.EnergyJ,
+				ev.Kept, ev.Participants, ev.Dropped)
+			if ev.Converged {
+				fmt.Fprintf(os.Stderr, "converged at round %d\n", ev.Round)
+			}
+		})
+	}
+	printReport(sess.Run())
 }
 
 func runComparison(s autofl.Scenario) error {
@@ -95,9 +122,10 @@ func runComparison(s autofl.Scenario) error {
 func printReport(r *autofl.Report) {
 	fmt.Printf("policy:            %s\n", r.Policy)
 	if r.Converged {
-		fmt.Printf("converged:         yes, round %d\n", r.Rounds)
+		fmt.Printf("converged:         yes, round %s\n",
+			metrics.FormatRound(true, r.ConvergedRound, r.Rounds))
 	} else {
-		fmt.Printf("converged:         no (%d rounds)\n", r.Rounds)
+		fmt.Printf("converged:         never (%d rounds)\n", r.Rounds)
 	}
 	fmt.Printf("final accuracy:    %.3f\n", r.FinalAccuracy)
 	fmt.Printf("time to target:    %.0f s\n", r.TimeToTargetSec)

@@ -63,3 +63,39 @@ func TestControllerSteadyStateAllocFree(t *testing.T) {
 		t.Errorf("steady-state Select+Feedback allocated %.2f/run, want 0", avg)
 	}
 }
+
+// TestStepperSteadyStateAllocFree extends the allocation pin to the
+// streaming engine API: once warm, each sim.Run.Step — a full round
+// through the controller's Select and Feedback plus the run's
+// accumulating trace — performs zero allocations. Start preallocates
+// the trace buffers to the horizon, so the only growth left is the
+// controller's reward trace, given headroom exactly as above.
+func TestStepperSteadyStateAllocFree(t *testing.T) {
+	cfg := sim.Config{
+		Workload:       workload.CNNMNIST(),
+		Params:         workload.GlobalParams{B: 16, E: 5, K: 8},
+		Fleet:          device.NewFleet(6, 14, 20),
+		Data:           data.NonIID50,
+		Env:            sim.EnvField(),
+		Seed:           91,
+		MaxRounds:      600,
+		TargetAccuracy: 1.1,
+	}
+	ctrl := New(DefaultOptions(92))
+	run := sim.New(cfg).Start(ctrl)
+	for run.Rounds() < 80 {
+		if !run.Step() {
+			t.Fatal("run ended during warmup")
+		}
+	}
+
+	const runs = 200
+	trace := ctrl.rewardTrace
+	grown := make([]float64, len(trace), len(trace)+2*runs)
+	copy(grown, trace)
+	ctrl.rewardTrace = grown
+
+	if avg := testing.AllocsPerRun(runs, func() { run.Step() }); avg != 0 {
+		t.Errorf("steady-state Run.Step allocated %.2f/run, want 0", avg)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"autofl/internal/data"
+	"autofl/internal/metrics"
 	"autofl/internal/policy"
 	"autofl/internal/sim"
 	"autofl/internal/workload"
@@ -175,7 +176,8 @@ func Fig06DataHeterogeneity(o Options) *Figure {
 		f.Series = append(f.Series, trace)
 		conv := "did not converge"
 		if res.Converged {
-			conv = fmt.Sprintf("converged at round %d", res.ConvergedRound)
+			conv = "converged at round " +
+				metrics.FormatRound(true, res.ConvergedRound, res.Rounds)
 		}
 		f.Notes = append(f.Notes, fmt.Sprintf("%s: final accuracy %.3f, %s", sc.Name, res.FinalAccuracy, conv))
 	}

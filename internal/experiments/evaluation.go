@@ -331,7 +331,12 @@ func Fig15RewardConvergence(o Options) *Figure {
 		opts := core.DefaultOptions(o.Seed)
 		opts.SharedTables = v.shared
 		ctrl := core.New(opts)
-		runPolicy(cfg, ctrl)
+		// Drive the run through the stepwise engine API — the reward
+		// trace grows one entry per executed round, exactly as the
+		// closed Run loop would produce it.
+		run := sim.New(cfg).Start(ctrl)
+		for run.Step() {
+		}
 		trace := ctrl.RewardTrace()
 
 		settle := settleRound(trace)

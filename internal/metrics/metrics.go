@@ -32,6 +32,9 @@ type Row struct {
 	ConvTimex float64
 	// Converged echoes whether the run reached the accuracy target.
 	Converged bool
+	// ConvergedRound is the 1-based convergence round; 0 means the
+	// run never converged (rendered distinctly, never as "round 0").
+	ConvergedRound int
 	// FinalAccuracy is the end-of-run model accuracy.
 	FinalAccuracy float64
 	// Rounds is the number of executed rounds.
@@ -54,13 +57,14 @@ func Compare(baseline string, results []*sim.Result) (Comparison, error) {
 	out := Comparison{Baseline: baseline}
 	for _, r := range results {
 		out.Rows = append(out.Rows, Row{
-			Policy:        r.Policy,
-			GlobalPPWx:    ratio(r.GlobalPPW(), base.GlobalPPW()),
-			LocalPPWx:     ratio(r.LocalPPW(), base.LocalPPW()),
-			ConvTimex:     ratio(effectiveTime(base), effectiveTime(r)),
-			Converged:     r.Converged,
-			FinalAccuracy: r.FinalAccuracy,
-			Rounds:        r.Rounds,
+			Policy:         r.Policy,
+			GlobalPPWx:     ratio(r.GlobalPPW(), base.GlobalPPW()),
+			LocalPPWx:      ratio(r.LocalPPW(), base.LocalPPW()),
+			ConvTimex:      ratio(effectiveTime(base), effectiveTime(r)),
+			Converged:      r.Converged,
+			ConvergedRound: r.ConvergedRound,
+			FinalAccuracy:  r.FinalAccuracy,
+			Rounds:         r.Rounds,
 		})
 	}
 	return out, nil
@@ -166,14 +170,25 @@ func FormatX(v float64) string {
 	return fmt.Sprintf("%.1fx", v)
 }
 
+// FormatRound renders a convergence round: the round number for a
+// converged run (falling back to the executed count when only that is
+// known), "never" for ConvergedRound == 0 on an unconverged run — so
+// a never-converged result cannot be misread as round 0.
+func FormatRound(converged bool, convergedRound, rounds int) string {
+	if !converged {
+		return "never"
+	}
+	if convergedRound == 0 {
+		convergedRound = rounds
+	}
+	return fmt.Sprintf("%d", convergedRound)
+}
+
 // String renders the comparison as a table.
 func (c Comparison) String() string {
 	rows := make([][]string, 0, len(c.Rows))
 	for _, r := range c.Rows {
-		conv := "no"
-		if r.Converged {
-			conv = fmt.Sprintf("%d", r.Rounds)
-		}
+		conv := FormatRound(r.Converged, r.ConvergedRound, r.Rounds)
 		rows = append(rows, []string{
 			r.Policy,
 			FormatX(r.GlobalPPWx),

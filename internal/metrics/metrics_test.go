@@ -142,3 +142,37 @@ func TestComparisonString(t *testing.T) {
 		t.Errorf("comparison table missing content:\n%s", s)
 	}
 }
+
+// TestFormatRound pins the never-converged guard: ConvergedRound == 0
+// renders as "never" (unconverged) or falls back to the executed
+// count (converged without a recorded round), never as round 0.
+func TestFormatRound(t *testing.T) {
+	if got := FormatRound(false, 0, 500); got != "never" {
+		t.Errorf("unconverged = %q, want never", got)
+	}
+	if got := FormatRound(true, 42, 42); got != "42" {
+		t.Errorf("converged = %q, want 42", got)
+	}
+	if got := FormatRound(true, 0, 100); got != "100" {
+		t.Errorf("round-fallback = %q, want 100", got)
+	}
+}
+
+// TestCompareCarriesConvergedRound checks the round is plumbed into
+// rows and rendered distinctly for never-converged runs.
+func TestCompareCarriesConvergedRound(t *testing.T) {
+	base := result("base", 1000, 500, true, 0.9)
+	base.ConvergedRound = 77
+	stalled := result("stalled", 1000, 500, false, 0.5)
+	cmp, err := Compare("base", []*sim.Result{base, stalled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Rows[0].ConvergedRound != 77 {
+		t.Errorf("base row round = %d, want 77", cmp.Rows[0].ConvergedRound)
+	}
+	s := cmp.String()
+	if !strings.Contains(s, "77") || !strings.Contains(s, "never") {
+		t.Errorf("comparison table missing round/never rendering:\n%s", s)
+	}
+}

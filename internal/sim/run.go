@@ -1,0 +1,158 @@
+package sim
+
+// This file is the stepwise half of the engine: Engine.Run inverted
+// into an iterator-style Run that callers drive one aggregation round
+// at a time. The public autofl.Session, the live -progress output of
+// cmd/autoflsim, and the traced sweep runner are all built on it;
+// Engine.Run itself is a Start/Step/Result loop.
+
+// RoundInfo summarizes the most recently stepped round of a Run — the
+// per-round view an observer sees, assembled from engine-owned scratch
+// without allocating.
+type RoundInfo struct {
+	// Round is the 1-based index of the round that just completed.
+	Round int
+	// Accuracy is the global-model accuracy after the round.
+	Accuracy float64
+	// RoundSec is the round's wall-clock duration.
+	RoundSec float64
+	// EnergyJ and ParticipantEnergyJ are the round's fleet-wide and
+	// participants-only energies.
+	EnergyJ            float64
+	ParticipantEnergyJ float64
+	// Participants counts selected devices; Kept the updates that
+	// reached aggregation; Dropped the deadline-missing stragglers.
+	Participants, Kept, Dropped int
+	// Converged reports whether this round reached the accuracy
+	// target (and therefore ended the run).
+	Converged bool
+}
+
+// Run is an in-progress, stepwise execution of one policy on an
+// Engine: the open-loop form of Engine.Run. Create one with
+// Engine.Start, advance it with Step, inspect progress with Last and
+// Snapshot, and finish with Result.
+//
+// A Run owns its engine's RNG streams and round scratch: use one Run
+// per Engine, and do not interleave it with Engine.Run or RunRound
+// calls on the same engine.
+type Run struct {
+	e     *Engine
+	p     Policy
+	fb    FeedbackPolicy
+	hasFb bool
+	acc   float64
+	last  RoundInfo
+	out   Result
+	done  bool
+}
+
+// Start opens a stepwise run of the policy. The result buffers are
+// preallocated to the full horizon so steady-state Step performs no
+// allocation.
+func (e *Engine) Start(p Policy) *Run {
+	r := &Run{
+		e:   e,
+		p:   p,
+		acc: e.cfg.Workload.AccuracyFloor,
+		out: Result{
+			Policy:         p.Name(),
+			TargetAccuracy: e.cfg.TargetAccuracy,
+			AccuracyFloor:  e.cfg.Workload.AccuracyFloor,
+			AccuracyTrace:  make([]float64, 0, e.cfg.MaxRounds),
+			Trace:          make([]RoundTrace, 0, e.cfg.MaxRounds),
+		},
+	}
+	r.fb, r.hasFb = p.(FeedbackPolicy)
+	return r
+}
+
+// Step executes one aggregation round, feeds learning policies their
+// feedback, and folds the round into the accumulating result. It
+// reports false — executing nothing — once the run has finished:
+// target reached, horizon exhausted, or Result already called.
+func (r *Run) Step() bool {
+	if r.done {
+		return false
+	}
+	round := r.out.Rounds
+	ctx, res := r.e.runRound(r.p, round, r.acc, &r.e.scratch)
+	if r.hasFb {
+		r.fb.Feedback(ctx, res)
+	}
+	r.acc = res.Accuracy
+	r.out.Rounds++
+	r.out.AccuracyTrace = append(r.out.AccuracyTrace, r.acc)
+	r.out.Trace = append(r.out.Trace, RoundTrace{
+		Sec:                res.RoundSec,
+		EnergyJ:            res.EnergyTotalJ,
+		ParticipantEnergyJ: res.EnergyParticipantsJ,
+	})
+	r.out.TimeToTargetSec += res.RoundSec
+	r.out.EnergyToTargetJ += res.EnergyTotalJ
+	r.out.ParticipantEnergyToTargetJ += res.EnergyParticipantsJ
+	converged := false
+	if !r.out.Converged && r.acc >= r.e.cfg.TargetAccuracy {
+		r.out.Converged = true
+		r.out.ConvergedRound = round + 1
+		converged = true
+		r.done = true
+	}
+	if r.out.Rounds >= r.e.cfg.MaxRounds {
+		r.done = true
+	}
+	r.last = RoundInfo{
+		Round:              round + 1,
+		Accuracy:           r.acc,
+		RoundSec:           res.RoundSec,
+		EnergyJ:            res.EnergyTotalJ,
+		ParticipantEnergyJ: res.EnergyParticipantsJ,
+		Participants:       res.Participants,
+		Kept:               res.Kept,
+		Dropped:            res.DroppedStragglers,
+		Converged:          converged,
+	}
+	return true
+}
+
+// Done reports whether the run has finished (no further Step will
+// execute a round).
+func (r *Run) Done() bool { return r.done }
+
+// Rounds is the number of rounds executed so far.
+func (r *Run) Rounds() int { return r.out.Rounds }
+
+// Last returns the most recently stepped round's summary; the zero
+// value before the first Step.
+func (r *Run) Last() RoundInfo { return r.last }
+
+// finalizeInto completes the derived fields of an accumulated result.
+func (r *Run) finalizeInto(out *Result) {
+	out.FinalAccuracy = r.acc
+	if out.Rounds > 0 {
+		out.MeanRoundSec = out.TimeToTargetSec / float64(out.Rounds)
+		out.MeanRoundEnergyJ = out.EnergyToTargetJ / float64(out.Rounds)
+	}
+	if rt, ok := r.p.(interface{ RewardTrace() []float64 }); ok {
+		out.RewardTrace = rt.RewardTrace()
+	}
+}
+
+// Snapshot returns the run's result as of the rounds executed so far,
+// without ending it: exactly what Result would report for a horizon
+// bounded here. The trace slices share backing arrays with the live
+// run (their lengths are fixed; later rounds append past them).
+func (r *Run) Snapshot() Result {
+	out := r.out
+	r.finalizeInto(&out)
+	return out
+}
+
+// Result ends the run — subsequent Step calls execute nothing — and
+// returns the finalized result. Stepping to completion first and then
+// calling Result reproduces Engine.Run exactly.
+func (r *Run) Result() *Result {
+	r.done = true
+	r.finalizeInto(&r.out)
+	return &r.out
+}

@@ -241,6 +241,9 @@ type DeviceRound struct {
 // RoundResult is the measured outcome of one aggregation round.
 type RoundResult struct {
 	Round int
+	// Participants counts the devices selected this round (kept or
+	// dropped).
+	Participants int
 	// RoundSec is the wall-clock duration: gated by the slowest kept
 	// participant, or the deadline when stragglers were cut.
 	RoundSec float64
@@ -260,6 +263,21 @@ type RoundResult struct {
 	Kept int
 	// DroppedStragglers counts deadline-missing participants.
 	DroppedStragglers int
+}
+
+// RoundTrace is the compact per-round record a run accumulates —
+// together with the parallel AccuracyTrace, just enough to replay the
+// run's headline metrics at any shorter horizon (see Result.Trace and
+// the sweep cache's horizon-prefix serving). Per-round accuracy lives
+// only in AccuracyTrace; duplicating it here would create a second
+// source of truth.
+type RoundTrace struct {
+	// Sec is the round's wall-clock duration.
+	Sec float64
+	// EnergyJ and ParticipantEnergyJ are the round's fleet-wide and
+	// participants-only energies.
+	EnergyJ            float64
+	ParticipantEnergyJ float64
 }
 
 // Result summarizes a full FL run.
@@ -283,6 +301,12 @@ type Result struct {
 	FinalAccuracy float64
 	// AccuracyTrace holds accuracy after every round (Fig 6a).
 	AccuracyTrace []float64
+	// Trace holds the compact per-round record of every executed
+	// round. Because each round depends only on the rounds before it —
+	// never on MaxRounds — the first h entries replay exactly what a
+	// run bounded at h rounds would have measured; the sweep cache
+	// exploits this to serve short horizons from long cached runs.
+	Trace []RoundTrace
 	// RewardTrace is filled by learning policies via feedback hooks
 	// (Fig 15); nil otherwise.
 	RewardTrace []float64
@@ -350,11 +374,19 @@ func (r *Result) LocalPPW() float64 {
 	return r.Progress() / r.ParticipantEnergyToTargetJ
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. A never-converged run
+// (ConvergedRound == 0) is rendered distinctly — "never (N rounds)" —
+// so it cannot be misread as convergence at round 0; a result that
+// claims convergence without a recorded round (hand-built or
+// reconstructed) falls back to the executed round count.
 func (r *Result) String() string {
-	conv := "no"
+	conv := fmt.Sprintf("never (%d rounds)", r.Rounds)
 	if r.Converged {
-		conv = fmt.Sprintf("round %d", r.ConvergedRound)
+		round := r.ConvergedRound
+		if round == 0 {
+			round = r.Rounds
+		}
+		conv = fmt.Sprintf("round %d", round)
 	}
 	return fmt.Sprintf("%s: acc=%.3f converged=%s time=%.0fs energy=%.0fJ",
 		r.Policy, r.FinalAccuracy, conv, r.TimeToTargetSec, r.EnergyToTargetJ)
@@ -550,6 +582,7 @@ func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext,
 func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratch) (*RoundContext, *RoundResult) {
 	ctx := e.observe(sc, round, accuracy)
 	selections := sanitize(sc, ctx, p.Select(ctx))
+	participants := len(selections)
 
 	traits := AggregationTraits{}
 	if tp, ok := p.(TraitsPolicy); ok {
@@ -564,6 +597,7 @@ func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratc
 	devRounds = devRounds[:len(ctx.Devices)]
 	*res = RoundResult{
 		Round:        round,
+		Participants: participants,
 		PrevAccuracy: accuracy,
 		Devices:      devRounds,
 	}
@@ -669,41 +703,13 @@ func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratc
 }
 
 // Run executes rounds until the accuracy target or MaxRounds, feeding
-// learning policies their per-round results.
+// learning policies their per-round results. It is a thin wrapper over
+// the stepwise Run API (Start/Step/Result in run.go).
 func (e *Engine) Run(p Policy) *Result {
-	acc := e.cfg.Workload.AccuracyFloor
-	out := &Result{
-		Policy:         p.Name(),
-		TargetAccuracy: e.cfg.TargetAccuracy,
-		AccuracyFloor:  e.cfg.Workload.AccuracyFloor,
+	r := e.Start(p)
+	for r.Step() {
 	}
-	fb, hasFeedback := p.(FeedbackPolicy)
-	for round := 0; round < e.cfg.MaxRounds; round++ {
-		ctx, res := e.runRound(p, round, acc, &e.scratch)
-		if hasFeedback {
-			fb.Feedback(ctx, res)
-		}
-		acc = res.Accuracy
-		out.Rounds++
-		out.AccuracyTrace = append(out.AccuracyTrace, acc)
-		out.TimeToTargetSec += res.RoundSec
-		out.EnergyToTargetJ += res.EnergyTotalJ
-		out.ParticipantEnergyToTargetJ += res.EnergyParticipantsJ
-		if !out.Converged && acc >= e.cfg.TargetAccuracy {
-			out.Converged = true
-			out.ConvergedRound = round + 1
-			break
-		}
-	}
-	out.FinalAccuracy = acc
-	if out.Rounds > 0 {
-		out.MeanRoundSec = out.TimeToTargetSec / float64(out.Rounds)
-		out.MeanRoundEnergyJ = out.EnergyToTargetJ / float64(out.Rounds)
-	}
-	if rt, ok := p.(interface{ RewardTrace() []float64 }); ok {
-		out.RewardTrace = rt.RewardTrace()
-	}
-	return out
+	return r.Result()
 }
 
 // sanitize deduplicates selections, clamps indices/steps, and truncates

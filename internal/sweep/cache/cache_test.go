@@ -262,10 +262,10 @@ func TestCrashResume(t *testing.T) {
 	}
 }
 
-// TestSignatureMismatchInvalidates reopens a populated cache under a
-// different grid seed and a different horizon; both must drop every
-// entry.
-func TestSignatureMismatchInvalidates(t *testing.T) {
+// TestSeedMismatchInvalidates reopens a populated cache under a
+// different grid seed, which must drop every entry; a changed horizon
+// alone keeps the store (entries are served per-horizon instead).
+func TestSeedMismatchInvalidates(t *testing.T) {
 	g := testGrid()
 	dir := t.TempDir()
 	c := mustOpen(t, dir, testSig())
@@ -274,15 +274,15 @@ func TestSignatureMismatchInvalidates(t *testing.T) {
 	}
 	c.Close()
 
+	roundsChanged := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 200})
+	if roundsChanged.Len() != g.Size() {
+		t.Errorf("horizon change kept %d entries, want all %d", roundsChanged.Len(), g.Size())
+	}
+	roundsChanged.Close()
+
 	seedChanged := mustOpen(t, dir, Signature{GridSeed: 43, Rounds: 100})
 	if seedChanged.Len() != 0 {
 		t.Errorf("grid-seed change kept %d entries, want 0", seedChanged.Len())
-	}
-	seedChanged.Close()
-
-	roundsChanged := mustOpen(t, dir, Signature{GridSeed: 43, Rounds: 200})
-	if roundsChanged.Len() != 0 {
-		t.Errorf("horizon change kept %d entries, want 0", roundsChanged.Len())
 	}
 }
 
@@ -505,6 +505,361 @@ func TestEntriesSortedAndObservable(t *testing.T) {
 		}
 		if entries[i].WallSeconds < 0 {
 			t.Errorf("negative wall-clock at %d", i)
+		}
+	}
+}
+
+// tracedFakeRunner stands in for the real traced Scenario runner: a
+// horizon-bounded deterministic "simulator" whose per-round draws
+// depend only on the seed and round index (never the horizon), whose
+// run stops at the first round crossing the accuracy target, and
+// whose outcome is the replay of its own trace — so a trace recorded
+// at one horizon reproduces the runner's output at any shorter one,
+// exactly like the engine.
+func tracedFakeRunner(horizon int) sweep.Runner {
+	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		s := rng.New(seed)
+		tr := &sweep.RunTrace{V: sweep.TraceVersion, TargetAccuracy: 0.9, AccuracyFloor: 0.1}
+		acc := 0.1
+		for i := 0; i < horizon; i++ {
+			acc += s.Float64() * 0.08 // upward walk; cells cross 0.9 at varied rounds
+			tr.Sec = append(tr.Sec, 1+s.Float64())
+			tr.EnergyJ = append(tr.EnergyJ, 10+s.Float64())
+			tr.ParticipantEnergyJ = append(tr.ParticipantEnergyJ, 4+s.Float64())
+			tr.Accuracy = append(tr.Accuracy, acc)
+			if acc >= 0.9 {
+				break // converged: the run stops, like the engine
+			}
+		}
+		out, ok := tr.OutcomeAt(horizon)
+		if !ok {
+			return sweep.Outcome{}, errors.New("tracedFakeRunner: self-replay failed")
+		}
+		out.Trace = tr
+		return out, nil
+	}
+}
+
+// stripTrace adapts a traced runner into one whose outcomes carry no
+// payload, for cache-free reference runs.
+func stripTrace(run sweep.Runner) sweep.Runner {
+	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		out, err := run(ctx, c, seed)
+		out.Trace = nil
+		return out, err
+	}
+}
+
+// TestHorizonPrefixServing is the cross-horizon acceptance bar at the
+// cache level: a grid cached at 100 rounds serves a 25-round request
+// without executing a single cell, byte-identical to a cold 25-round
+// sweep.
+func TestHorizonPrefixServing(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+
+	long := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 100})
+	if _, err := sweep.Run(context.Background(), g, long.Runner(tracedFakeRunner(100)), sweep.Options{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	short := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 25})
+	cr := newCounting(tracedFakeRunner(25))
+	served, err := sweep.Run(context.Background(), g, short.Runner(cr.run), sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != 0 {
+		t.Errorf("short-horizon query executed %d cells, want 0", cr.total())
+	}
+	st := short.Stats()
+	if st.Hits != g.Size() || st.Misses != 0 {
+		t.Errorf("short-horizon stats = %+v, want all hits", st)
+	}
+	// PrefixHits counts exactly the serves that required truncating a
+	// longer run: neither an exact-horizon entry nor a run that
+	// converged within the request.
+	wantPrefix := 0
+	for _, e := range short.Entries() {
+		out := e.Result.Outcome
+		if e.Rounds != 25 && !(out.Converged && out.Rounds <= 25) {
+			wantPrefix++
+		}
+	}
+	if wantPrefix == 0 {
+		t.Error("test grid produced no trace-replay serves")
+	}
+	if st.PrefixHits != wantPrefix {
+		t.Errorf("PrefixHits = %d, want %d", st.PrefixHits, wantPrefix)
+	}
+
+	fresh, err := sweep.Run(context.Background(), g, stripTrace(tracedFakeRunner(25)), sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, served), mustJSON(t, fresh)) {
+		t.Error("trace-served 25-round JSON differs from a cold 25-round sweep")
+	}
+	if !bytes.Equal(mustCSV(t, served), mustCSV(t, fresh)) {
+		t.Error("trace-served 25-round CSV differs from a cold 25-round sweep")
+	}
+}
+
+// TestLongerHorizonReRunsOnlyUnconverged checks the upgrade path: a
+// cache built at 25 rounds answers a 100-round request from entries
+// whose runs converged within 25 rounds (a longer horizon changes
+// nothing for them) and re-executes exactly the rest.
+func TestLongerHorizonReRunsOnlyUnconverged(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+
+	short := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 25})
+	if _, err := sweep.Run(context.Background(), g, short.Runner(tracedFakeRunner(25)), sweep.Options{Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	unconverged := 0
+	for _, e := range short.Entries() {
+		if !e.Result.Outcome.Converged {
+			unconverged++
+		}
+	}
+	if unconverged == 0 || unconverged == g.Size() {
+		t.Fatalf("test wants a mix, got %d/%d unconverged", unconverged, g.Size())
+	}
+	if err := short.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	long := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 100})
+	cr := newCounting(tracedFakeRunner(100))
+	upgraded, err := sweep.Run(context.Background(), g, long.Runner(cr.run), sweep.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != unconverged {
+		t.Errorf("upgrade executed %d cells, want the %d unconverged ones", cr.total(), unconverged)
+	}
+	fresh, err := sweep.Run(context.Background(), g, stripTrace(tracedFakeRunner(100)), sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, upgraded), mustJSON(t, fresh)) {
+		t.Error("upgraded JSON differs from a cold 100-round sweep")
+	}
+}
+
+// TestUntracedEntriesServeOnlyTheirHorizon pins the conservative
+// fallback: an entry without a trace that did not converge can answer
+// only its own horizon.
+func TestUntracedEntriesServeOnlyTheirHorizon(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+	stalled := func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		out, err := fakeRunner(ctx, c, seed)
+		out.Converged = false
+		return out, err
+	}
+
+	c := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 100})
+	if _, err := sweep.Run(context.Background(), g, c.Runner(stalled), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 25})
+	cr := newCounting(stalled)
+	if _, err := sweep.Run(context.Background(), g, re.Runner(cr.run), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != g.Size() {
+		t.Errorf("untraced unconverged entries served %d cells across horizons", g.Size()-cr.total())
+	}
+}
+
+// TestGCCompactsStore builds a store with superseded duplicates (a
+// horizon upgrade) plus corrupt garbage, GCs it, and checks the
+// compacted file keeps exactly the live entries and still serves.
+func TestGCCompactsStore(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+
+	short := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 25})
+	if _, err := sweep.Run(context.Background(), g, short.Runner(tracedFakeRunner(25)), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := short.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The upgrade appends replacement lines for every unconverged cell.
+	long := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 100})
+	if _, err := sweep.Run(context.Background(), g, long.Runner(tracedFakeRunner(100)), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plus garbage: a corrupt trailing line.
+	f, err := os.OpenFile(filepath.Join(dir, "results.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "corrupt garbage")
+	f.Close()
+
+	gc := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 100})
+	kept, dropped, err := gc.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != g.Size() {
+		t.Errorf("GC kept %d entries, want %d", kept, g.Size())
+	}
+	if dropped == 0 {
+		t.Error("GC dropped nothing despite duplicates and garbage")
+	}
+	// The compacted file holds exactly one line per cell.
+	raw, err := os.ReadFile(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(raw, []byte("\n")); lines != g.Size() {
+		t.Errorf("compacted store has %d lines, want %d", lines, g.Size())
+	}
+	// The handle still appends and serves after GC.
+	cr := newCounting(tracedFakeRunner(100))
+	if _, err := sweep.Run(context.Background(), g, gc.Runner(cr.run), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cr.total() != 0 {
+		t.Errorf("post-GC run executed %d cells, want 0", cr.total())
+	}
+	if err := gc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reload of the compacted store is complete, and a second GC is
+	// a no-op.
+	kept2, dropped2, err := GCDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept2 != g.Size() || dropped2 != 0 {
+		t.Errorf("idempotent GC = (%d kept, %d dropped), want (%d, 0)", kept2, dropped2, g.Size())
+	}
+}
+
+// TestGCDirRefusesForeignStores checks GCDir never resets a directory
+// it cannot identify.
+func TestGCDirRefusesForeignStores(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := GCDir(dir); err == nil {
+		t.Error("GCDir of an empty directory should fail, not create a store")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"version":1,"signature":{"grid_seed":1,"rounds":10}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := GCDir(dir); err == nil {
+		t.Error("GCDir of an old-format store should fail rather than drop it")
+	}
+}
+
+// TestMismatchedOpenHorizonCannotPoison pins the Put-side honesty
+// rule: entries record the horizon their run actually witnessed, not
+// the horizon the cache was opened with — so a caller that opens a
+// cache at one horizon but bounds the runner at another cannot poison
+// later queries with short runs served as long ones.
+func TestMismatchedOpenHorizonCannotPoison(t *testing.T) {
+	g := testGrid()
+	dir := t.TempDir()
+
+	// Open claiming 100 rounds, but the runner only executes 25.
+	lying := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 100})
+	if _, err := sweep.Run(context.Background(), g, lying.Runner(tracedFakeRunner(25)), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range lying.Entries() {
+		if e.Rounds > 25 {
+			t.Fatalf("entry claims %d rounds, runner executed at most 25", e.Rounds)
+		}
+	}
+	if err := lying.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An honest 100-round query re-executes every cell the short runs
+	// cannot witness (the unconverged ones) instead of serving them.
+	honest := mustOpen(t, dir, Signature{GridSeed: 42, Rounds: 100})
+	cr := newCounting(tracedFakeRunner(100))
+	store, err := sweep.Run(context.Background(), g, honest.Runner(cr.run), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sweep.Run(context.Background(), g, stripTrace(tracedFakeRunner(100)), sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, store), mustJSON(t, fresh)) {
+		t.Error("mismatched-open cache corrupted an honest 100-round sweep")
+	}
+}
+
+// TestPreferKeepsWiderServingEntry pins duplicate resolution: a
+// traced re-execution at a shorter horizon must not evict an untraced
+// long-horizon entry that still serves queries the new entry cannot
+// (the long exact hit survives), while a dominant entry replaces a
+// subsumed one.
+func TestPreferKeepsWiderServingEntry(t *testing.T) {
+	g := sweep.Grid{Policies: []string{"p"}, Seed: 9}
+	cell := g.Cells()[0]
+	seed := g.CellSeed(cell)
+	dir := t.TempDir()
+	stalled := func(ctx context.Context, c sweep.Cell, s uint64) (sweep.Outcome, error) {
+		out, err := fakeRunner(ctx, c, s)
+		out.Converged = false
+		return out, err
+	}
+
+	// Untraced 1000-round entry...
+	long := mustOpen(t, dir, Signature{GridSeed: 9, Rounds: 1000})
+	if _, err := sweep.Run(context.Background(), g, long.Runner(stalled), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...then a traced 200-round re-execution of the same cell.
+	short := mustOpen(t, dir, Signature{GridSeed: 9, Rounds: 200})
+	if _, err := sweep.Run(context.Background(), g, short.Runner(tracedFakeRunner(200)), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := short.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The 1000-round exact hit must survive the reload merge.
+	re := mustOpen(t, dir, Signature{GridSeed: 9, Rounds: 1000})
+	if _, ok := re.serve(cell, seed); !ok {
+		t.Error("traced short re-execution evicted the untraced long entry")
+	}
+	re.Close()
+
+	// A dominant traced long entry does replace everything.
+	upgrade := mustOpen(t, dir, Signature{GridSeed: 9, Rounds: 1000})
+	if _, err := sweep.Run(context.Background(), g, upgrade.Runner(tracedFakeRunner(1000)), sweep.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []int{50, 200, 1000} {
+		upgrade.sig.Rounds = h
+		if !upgrade.Has(cell) {
+			t.Errorf("dominant traced entry cannot serve horizon %d", h)
 		}
 	}
 }

@@ -9,8 +9,8 @@ import (
 )
 
 // Outcome is the measurement a Runner produces for one cell. It
-// mirrors the headline fields of an autofl.Report (the traces are
-// dropped: sweeps aggregate scalars).
+// mirrors the headline fields of an autofl.Report (the accuracy and
+// reward traces are dropped: sweeps aggregate scalars).
 type Outcome struct {
 	Converged       bool    `json:"converged"`
 	Rounds          int     `json:"rounds"`
@@ -19,6 +19,12 @@ type Outcome struct {
 	GlobalPPW       float64 `json:"global_ppw"`
 	LocalPPW        float64 `json:"local_ppw"`
 	FinalAccuracy   float64 `json:"final_accuracy"`
+	// Trace is the optional per-round payload a tracing runner
+	// attaches for the persistent cache's horizon-prefix serving
+	// (trace.go). It rides the runner chain only: the cache strips it
+	// before outcomes reach the ResultStore, so exported JSON/CSV
+	// never carries traces.
+	Trace *RunTrace `json:"trace,omitempty"`
 }
 
 // Result is one executed cell: the cell, the seed it ran with, and

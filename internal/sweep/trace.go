@@ -1,0 +1,112 @@
+package sweep
+
+import "autofl/internal/sim"
+
+// TraceVersion gates the RunTrace payload layout. Consumers must
+// ignore payloads with an unknown version (treat the entry as
+// trace-free) rather than misreading them.
+const TraceVersion = 1
+
+// RunTrace is the versioned per-round trace payload of one executed
+// cell: parallel per-round arrays plus the run's accuracy target and
+// floor. Because every simulated round depends only on the rounds
+// before it — never on the horizon — the first h rounds of a trace
+// replay exactly what a run bounded at h rounds would have measured,
+// so a long cached run can answer any shorter-horizon request
+// byte-identically (OutcomeAt).
+type RunTrace struct {
+	V int `json:"v"`
+	// TargetAccuracy and AccuracyFloor echo the run configuration;
+	// replay needs them to re-derive convergence and progress.
+	TargetAccuracy float64 `json:"target_accuracy"`
+	AccuracyFloor  float64 `json:"accuracy_floor"`
+	// Per-round arrays, index = zero-based round: wall-clock seconds,
+	// fleet energy, participants-only energy, post-round accuracy.
+	Sec                []float64 `json:"sec"`
+	EnergyJ            []float64 `json:"energy_j"`
+	ParticipantEnergyJ []float64 `json:"participant_energy_j"`
+	Accuracy           []float64 `json:"accuracy"`
+}
+
+// NewRunTrace converts a finished run's per-round record (Trace plus
+// the parallel AccuracyTrace, equal length by construction) into the
+// cacheable payload.
+func NewRunTrace(res *sim.Result) *RunTrace {
+	t := &RunTrace{
+		V:                  TraceVersion,
+		TargetAccuracy:     res.TargetAccuracy,
+		AccuracyFloor:      res.AccuracyFloor,
+		Sec:                make([]float64, len(res.Trace)),
+		EnergyJ:            make([]float64, len(res.Trace)),
+		ParticipantEnergyJ: make([]float64, len(res.Trace)),
+		Accuracy:           append([]float64(nil), res.AccuracyTrace...),
+	}
+	for i, r := range res.Trace {
+		t.Sec[i] = r.Sec
+		t.EnergyJ[i] = r.EnergyJ
+		t.ParticipantEnergyJ[i] = r.ParticipantEnergyJ
+	}
+	return t
+}
+
+// Valid reports whether the payload is one this code can replay: a
+// known version and consistent array lengths.
+func (t *RunTrace) Valid() bool {
+	if t == nil || t.V != TraceVersion {
+		return false
+	}
+	n := len(t.Sec)
+	return len(t.EnergyJ) == n && len(t.ParticipantEnergyJ) == n && len(t.Accuracy) == n
+}
+
+// Rounds is the number of recorded rounds.
+func (t *RunTrace) Rounds() int { return len(t.Sec) }
+
+// OutcomeAt replays the trace under a horizon of the given round
+// count, reproducing — bit for bit — the Outcome a fresh run bounded
+// at that horizon would report. It mirrors the engine's round loop
+// exactly: sums accumulate in round order, the run ends at the first
+// round whose accuracy reaches the target, and the efficiency metrics
+// are derived through sim.Result so the progress arithmetic cannot
+// drift from the engine's.
+//
+// The replay fails (ok == false) when the trace cannot witness the
+// request: an invalid payload, or a horizon beyond the recorded
+// rounds of a run that never converged.
+func (t *RunTrace) OutcomeAt(rounds int) (Outcome, bool) {
+	if !t.Valid() || rounds <= 0 {
+		return Outcome{}, false
+	}
+	res := sim.Result{
+		TargetAccuracy: t.TargetAccuracy,
+		AccuracyFloor:  t.AccuracyFloor,
+	}
+	acc := t.AccuracyFloor
+	for i := 0; i < rounds && i < len(t.Sec); i++ {
+		acc = t.Accuracy[i]
+		res.Rounds++
+		res.TimeToTargetSec += t.Sec[i]
+		res.EnergyToTargetJ += t.EnergyJ[i]
+		res.ParticipantEnergyToTargetJ += t.ParticipantEnergyJ[i]
+		if !res.Converged && acc >= t.TargetAccuracy {
+			res.Converged = true
+			res.ConvergedRound = i + 1
+			break
+		}
+	}
+	res.FinalAccuracy = acc
+	if !res.Converged && res.Rounds < rounds {
+		// The trace ran out before the requested horizon without
+		// converging: it cannot witness rounds it never executed.
+		return Outcome{}, false
+	}
+	return Outcome{
+		Converged:       res.Converged,
+		Rounds:          res.Rounds,
+		TimeToTargetSec: res.TimeToTargetSec,
+		EnergyToTargetJ: res.EnergyToTargetJ,
+		GlobalPPW:       res.GlobalPPW(),
+		LocalPPW:        res.LocalPPW(),
+		FinalAccuracy:   res.FinalAccuracy,
+	}, true
+}

@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"testing"
+
+	"autofl/internal/sim"
+)
+
+// syntheticTrace builds a deterministic n-round trace whose accuracy
+// climbs linearly from floor toward ceiling, crossing target at round
+// crossAt (1-based; 0 = never).
+func syntheticTrace(n, crossAt int) *RunTrace {
+	t := &RunTrace{
+		V:              TraceVersion,
+		TargetAccuracy: 0.9,
+		AccuracyFloor:  0.1,
+	}
+	for i := 0; i < n; i++ {
+		acc := 0.1 + 0.7*float64(i+1)/float64(n+1) // stays below 0.9
+		if crossAt > 0 && i+1 >= crossAt {
+			acc = 0.95
+		}
+		t.Sec = append(t.Sec, float64(10+i))
+		t.EnergyJ = append(t.EnergyJ, float64(100+i))
+		t.ParticipantEnergyJ = append(t.ParticipantEnergyJ, float64(40+i))
+		t.Accuracy = append(t.Accuracy, acc)
+	}
+	return t
+}
+
+func TestOutcomeAtTruncates(t *testing.T) {
+	tr := syntheticTrace(100, 0)
+	out, ok := tr.OutcomeAt(30)
+	if !ok {
+		t.Fatal("OutcomeAt(30) failed on a 100-round trace")
+	}
+	if out.Converged || out.Rounds != 30 {
+		t.Errorf("truncated outcome = %+v, want 30 unconverged rounds", out)
+	}
+	var sec, energy float64
+	for i := 0; i < 30; i++ {
+		sec += tr.Sec[i]
+		energy += tr.EnergyJ[i]
+	}
+	if out.TimeToTargetSec != sec || out.EnergyToTargetJ != energy {
+		t.Error("truncated sums differ from prefix sums")
+	}
+	if out.FinalAccuracy != tr.Accuracy[29] {
+		t.Errorf("final accuracy %v, want round-30 accuracy %v", out.FinalAccuracy, tr.Accuracy[29])
+	}
+	if out.GlobalPPW <= 0 || out.LocalPPW <= 0 {
+		t.Error("truncated outcome lost its efficiency metrics")
+	}
+	if out.Trace != nil {
+		t.Error("replayed outcome must not carry a trace payload")
+	}
+}
+
+func TestOutcomeAtConvergence(t *testing.T) {
+	tr := syntheticTrace(60, 45) // run converged at round 45 and stopped
+	tr.Sec = tr.Sec[:45]
+	tr.EnergyJ = tr.EnergyJ[:45]
+	tr.ParticipantEnergyJ = tr.ParticipantEnergyJ[:45]
+	tr.Accuracy = tr.Accuracy[:45]
+
+	// Any horizon >= the convergence round replays the same converged
+	// run.
+	for _, h := range []int{45, 100, 1000} {
+		out, ok := tr.OutcomeAt(h)
+		if !ok || !out.Converged || out.Rounds != 45 {
+			t.Errorf("OutcomeAt(%d) = %+v, %v; want convergence at 45", h, out, ok)
+		}
+	}
+	// A shorter horizon replays an unconverged prefix.
+	out, ok := tr.OutcomeAt(20)
+	if !ok || out.Converged || out.Rounds != 20 {
+		t.Errorf("OutcomeAt(20) = %+v, %v; want 20 unconverged rounds", out, ok)
+	}
+}
+
+func TestOutcomeAtCannotWitness(t *testing.T) {
+	tr := syntheticTrace(50, 0) // ran 50 rounds, never converged
+	if _, ok := tr.OutcomeAt(51); ok {
+		t.Error("trace served a horizon beyond its unconverged recording")
+	}
+	if _, ok := tr.OutcomeAt(0); ok {
+		t.Error("trace served a zero-round horizon")
+	}
+	if out, ok := tr.OutcomeAt(50); !ok || out.Rounds != 50 {
+		t.Errorf("exact-length replay = %+v, %v", out, ok)
+	}
+}
+
+func TestTraceValidity(t *testing.T) {
+	var nilTrace *RunTrace
+	if nilTrace.Valid() {
+		t.Error("nil trace reported valid")
+	}
+	if _, ok := nilTrace.OutcomeAt(5); ok {
+		t.Error("nil trace served an outcome")
+	}
+	wrongVersion := syntheticTrace(10, 0)
+	wrongVersion.V = TraceVersion + 1
+	if wrongVersion.Valid() {
+		t.Error("unknown version reported valid")
+	}
+	ragged := syntheticTrace(10, 0)
+	ragged.EnergyJ = ragged.EnergyJ[:5]
+	if ragged.Valid() {
+		t.Error("ragged arrays reported valid")
+	}
+}
+
+// TestNewRunTraceRoundTrips checks the sim.Result conversion
+// preserves every per-round value and the replay of the full length
+// reproduces the run's own aggregates.
+func TestNewRunTraceRoundTrips(t *testing.T) {
+	res := &sim.Result{
+		TargetAccuracy: 0.9,
+		AccuracyFloor:  0.1,
+		AccuracyTrace:  []float64{0.3, 0.5},
+		Trace: []sim.RoundTrace{
+			{Sec: 1.5, EnergyJ: 10, ParticipantEnergyJ: 4},
+			{Sec: 2.5, EnergyJ: 11, ParticipantEnergyJ: 5},
+		},
+	}
+	tr := NewRunTrace(res)
+	if !tr.Valid() || tr.Rounds() != 2 {
+		t.Fatalf("converted trace invalid: %+v", tr)
+	}
+	out, ok := tr.OutcomeAt(2)
+	if !ok {
+		t.Fatal("full-length replay failed")
+	}
+	if out.TimeToTargetSec != 4.0 || out.EnergyToTargetJ != 21 || out.FinalAccuracy != 0.5 {
+		t.Errorf("replayed outcome = %+v", out)
+	}
+}

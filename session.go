@@ -1,0 +1,169 @@
+package autofl
+
+import (
+	"autofl/internal/sim"
+)
+
+// RoundEvent is the per-round observation a Session delivers: what one
+// completed aggregation round measured. Observers and early-stop
+// predicates receive it, and Step returns it.
+type RoundEvent struct {
+	// Round is the 1-based index of the round that just completed.
+	Round int
+	// Accuracy is the global-model test accuracy after the round.
+	Accuracy float64
+	// RoundSec is the round's wall-clock duration.
+	RoundSec float64
+	// EnergyJ and ParticipantEnergyJ are the round's fleet-wide and
+	// participants-only energies.
+	EnergyJ            float64
+	ParticipantEnergyJ float64
+	// Participants counts selected devices; Kept the updates that
+	// reached aggregation; Dropped the deadline-missing stragglers.
+	Participants, Kept, Dropped int
+	// Reward is the AutoFL controller's mean per-round reward; 0 for
+	// non-learning policies.
+	Reward float64
+	// Converged reports whether this round reached the accuracy
+	// target (ending the run).
+	Converged bool
+}
+
+// Session is an open, stepwise run of one Scenario under one Policy —
+// the streaming form of Scenario.Run. Where Run executes the whole
+// horizon and returns one final Report, a Session exposes the round
+// as the unit of execution: callers Step it (or RunTo a round),
+// observe every completed round through callbacks, stop it early with
+// predicates, and take a Report at any point. Scenario.Run itself is
+// a Session stepped to completion, so the two are byte-identical.
+//
+// A Session is not safe for concurrent use. It holds live simulator
+// state; Close it (or just drop it) when done.
+type Session struct {
+	policy    Policy
+	run       *sim.Run
+	rewards   interface{ RewardTrace() []float64 }
+	observers []func(RoundEvent)
+	stops     []func(RoundEvent) bool
+	stopped   bool
+	closed    bool
+}
+
+// Open validates the scenario and policy and starts a session at
+// round zero. Nothing executes until the first Step (or RunTo/Run)
+// call.
+func Open(s Scenario, p Policy) (*Session, error) {
+	cfg, err := s.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := s.policy(p)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{policy: p, run: sim.New(cfg).Start(pol)}
+	sess.rewards, _ = pol.(interface{ RewardTrace() []float64 })
+	return sess, nil
+}
+
+// Observe registers a per-round callback, invoked after every
+// executed round (in registration order) with that round's event.
+func (s *Session) Observe(fn func(RoundEvent)) {
+	s.observers = append(s.observers, fn)
+}
+
+// StopWhen registers an early-stop predicate: when it returns true
+// for a round's event, the session stops after that round — Step
+// reports done and the Report covers the executed prefix, exactly as
+// if the horizon had been bounded there.
+func (s *Session) StopWhen(pred func(RoundEvent) bool) {
+	s.stops = append(s.stops, pred)
+}
+
+// Step executes one aggregation round and returns its event. It
+// reports false — executing nothing — once the session is done:
+// target reached, horizon exhausted, an early-stop predicate fired,
+// or the session closed. Steady-state Step performs no allocation.
+func (s *Session) Step() (RoundEvent, bool) {
+	if s.closed || s.stopped || !s.run.Step() {
+		return RoundEvent{}, false
+	}
+	info := s.run.Last()
+	ev := RoundEvent{
+		Round:              info.Round,
+		Accuracy:           info.Accuracy,
+		RoundSec:           info.RoundSec,
+		EnergyJ:            info.EnergyJ,
+		ParticipantEnergyJ: info.ParticipantEnergyJ,
+		Participants:       info.Participants,
+		Kept:               info.Kept,
+		Dropped:            info.Dropped,
+		Converged:          info.Converged,
+	}
+	if s.rewards != nil {
+		if tr := s.rewards.RewardTrace(); len(tr) > 0 {
+			ev.Reward = tr[len(tr)-1]
+		}
+	}
+	for _, fn := range s.observers {
+		fn(ev)
+	}
+	for _, pred := range s.stops {
+		if pred(ev) {
+			s.stopped = true
+			break
+		}
+	}
+	return ev, true
+}
+
+// RunTo steps until the session has executed the given number of
+// rounds (or finished earlier) and returns the report as of that
+// point.
+func (s *Session) RunTo(round int) *Report {
+	for s.run.Rounds() < round {
+		if _, ok := s.Step(); !ok {
+			break
+		}
+	}
+	return s.Result()
+}
+
+// Run steps the session to its natural end — convergence, the
+// scenario horizon, or an early-stop — and returns the final report.
+func (s *Session) Run() *Report {
+	for {
+		if _, ok := s.Step(); !ok {
+			break
+		}
+	}
+	return s.Result()
+}
+
+// Rounds is the number of rounds executed so far.
+func (s *Session) Rounds() int { return s.run.Rounds() }
+
+// Done reports whether the session will execute no further rounds.
+func (s *Session) Done() bool { return s.closed || s.stopped || s.run.Done() }
+
+// Result returns the report as of the rounds executed so far: for a
+// finished session the final report (identical to Scenario.Run's),
+// mid-run a consistent snapshot of the executed prefix. It may be
+// called repeatedly, before and after Close.
+func (s *Session) Result() *Report {
+	res := s.run.Snapshot()
+	return reportFromResult(s.policy, &res)
+}
+
+// Close ends the session: subsequent Step calls execute nothing.
+// Result remains available.
+func (s *Session) Close() {
+	s.closed = true
+}
+
+// simResult finishes the run and exposes the engine-level result —
+// including the per-round trace — to the traced sweep runner.
+func (s *Session) simResult() *sim.Result {
+	s.closed = true
+	return s.run.Result()
+}

@@ -2,6 +2,7 @@ package autofl
 
 import (
 	"context"
+	"fmt"
 
 	"autofl/internal/sim"
 	"autofl/internal/sweep"
@@ -33,38 +34,65 @@ func SweepGrid(seed uint64, replicates int) sweep.Grid {
 	return g
 }
 
-// SweepRunner adapts Scenario.Run to the sweep engine: each cell's
-// axis names select the scenario, the engine-derived seed replaces the
-// scenario seed, and the report's headline metrics become the cell
-// outcome. maxRounds bounds every run (0 selects the paper's
-// 1000-round horizon). The returned runner is safe for concurrent use:
-// every call constructs its own scenario, policy, and simulator.
+// sweepCell executes one grid cell: the cell's axis names select the
+// scenario, the engine-derived seed replaces the scenario seed, and
+// the run's headline metrics become the cell outcome. When traced,
+// the outcome also carries the per-round sweep.RunTrace payload for
+// the cache's horizon-prefix serving. Safe for concurrent use: every
+// call constructs its own scenario, policy, and simulator.
+func sweepCell(ctx context.Context, c sweep.Cell, seed uint64, maxRounds int, traced bool) (sweep.Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return sweep.Outcome{}, err
+	}
+	s := Scenario{
+		Workload:  Workload(c.Workload),
+		Setting:   Setting(c.Setting),
+		Data:      DataScenario(c.Data),
+		Env:       Environment(c.Env),
+		Seed:      seed,
+		MaxRounds: maxRounds,
+	}
+	sess, err := Open(s, Policy(c.Policy))
+	if err != nil {
+		return sweep.Outcome{}, err
+	}
+	for {
+		if _, ok := sess.Step(); !ok {
+			break
+		}
+	}
+	res := sess.simResult()
+	out := sweep.Outcome{
+		Converged:       res.Converged,
+		Rounds:          res.Rounds,
+		TimeToTargetSec: res.TimeToTargetSec,
+		EnergyToTargetJ: res.EnergyToTargetJ,
+		GlobalPPW:       res.GlobalPPW(),
+		LocalPPW:        res.LocalPPW(),
+		FinalAccuracy:   res.FinalAccuracy,
+	}
+	if traced {
+		out.Trace = sweep.NewRunTrace(res)
+	}
+	return out, nil
+}
+
+// SweepRunner adapts scenario runs to the sweep engine (see
+// sweepCell). maxRounds bounds every run (0 selects the paper's
+// 1000-round horizon).
 func SweepRunner(maxRounds int) sweep.Runner {
 	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
-		if err := ctx.Err(); err != nil {
-			return sweep.Outcome{}, err
-		}
-		s := Scenario{
-			Workload:  Workload(c.Workload),
-			Setting:   Setting(c.Setting),
-			Data:      DataScenario(c.Data),
-			Env:       Environment(c.Env),
-			Seed:      seed,
-			MaxRounds: maxRounds,
-		}
-		r, err := s.Run(Policy(c.Policy))
-		if err != nil {
-			return sweep.Outcome{}, err
-		}
-		return sweep.Outcome{
-			Converged:       r.Converged,
-			Rounds:          r.Rounds,
-			TimeToTargetSec: r.TimeToTargetSec,
-			EnergyToTargetJ: r.EnergyToTargetJ,
-			GlobalPPW:       r.GlobalPPW,
-			LocalPPW:        r.LocalPPW,
-			FinalAccuracy:   r.FinalAccuracy,
-		}, nil
+		return sweepCell(ctx, c, seed, maxRounds, false)
+	}
+}
+
+// tracedSweepRunner is SweepRunner with per-round trace capture, so
+// the cache can serve any shorter horizon from the entry. The trace
+// never reaches sweep output — cache.Runner strips it after
+// recording.
+func tracedSweepRunner(maxRounds int) sweep.Runner {
+	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		return sweepCell(ctx, c, seed, maxRounds, true)
 	}
 }
 
@@ -83,10 +111,12 @@ type SweepOptions struct {
 	// horizon).
 	MaxRounds int
 	// Cache, when non-nil, serves previously completed cells from disk
-	// and records newly executed ones, so an interrupted or extended
-	// grid re-runs only its missing cells. The cache must have been
-	// opened with SweepSignature of the same grid and horizon;
-	// mismatched signatures simply never hit.
+	// and records newly executed ones (with per-round traces), so an
+	// interrupted or extended grid re-runs only its missing cells and
+	// a shorter-horizon request is answered by truncating longer
+	// cached runs. The cache must have been opened with SweepSignature
+	// of the same grid and horizon; a different grid seed simply never
+	// hits.
 	Cache *cache.Cache
 	// CostSchedule claims pending cells in descending predicted-cost
 	// order (calibrated from the cache's wall-clock observations when
@@ -97,9 +127,12 @@ type SweepOptions struct {
 	CostSchedule bool
 }
 
-// SweepSignature is the cache identity of a (grid, horizon) pair: the
-// grid master seed plus the effective round horizon, normalized so the
-// default (0) and an explicit 1000 share cache entries.
+// SweepSignature is the cache signature of a (grid, horizon) pair:
+// the grid master seed (the entry identity) plus the effective round
+// horizon (how entries are served), normalized so the default (0) and
+// an explicit 1000 behave identically. Only the seed keys entries —
+// one directory serves every horizon, with shorter requests answered
+// from longer cached runs by trace-prefix replay.
 func SweepSignature(g sweep.Grid, maxRounds int) cache.Signature {
 	if maxRounds <= 0 {
 		maxRounds = sim.DefaultMaxRounds
@@ -115,7 +148,20 @@ func RunSweepWith(ctx context.Context, g sweep.Grid, o SweepOptions) (*sweep.Res
 	run := SweepRunner(o.MaxRounds)
 	opts := o.Options
 	if o.Cache != nil {
-		run = o.Cache.Runner(run)
+		// A cache opened under a different grid seed or horizon than
+		// this sweep would record entries under the wrong identity;
+		// fail fast instead of quietly polluting the store.
+		if want := SweepSignature(g, o.MaxRounds); o.Cache.Signature() != want {
+			return sweep.NewStore(), fmt.Errorf(
+				"autofl: cache signature %+v does not match sweep signature %+v", o.Cache.Signature(), want)
+		}
+	}
+	if o.Cache != nil {
+		// Cached sweeps capture per-round traces so the entries can
+		// serve shorter horizons later; the cache strips the trace
+		// before outcomes reach the store, so output is identical to
+		// the cache-free runner's.
+		run = o.Cache.Runner(tracedSweepRunner(o.MaxRounds))
 	}
 	if o.CostSchedule && opts.Order == nil {
 		model := schedule.Static()
@@ -144,7 +190,7 @@ func cacheObservations(c *cache.Cache) []schedule.Observation {
 	for _, e := range entries {
 		obs = append(obs, schedule.Observation{
 			Workload: e.Result.Cell.Workload,
-			Rounds:   c.Signature().Rounds,
+			Rounds:   e.Rounds,
 			Seconds:  e.WallSeconds,
 		})
 	}

@@ -191,3 +191,81 @@ func TestSweepRunnerUnknownAxis(t *testing.T) {
 		t.Fatalf("unknown policy must produce a cell error: %+v", rs)
 	}
 }
+
+// TestCrossHorizonCacheReuse is the trace-truncation acceptance
+// criterion on real Scenario runs: a grid swept at -rounds 1000 into a
+// cache answers a -rounds 200 re-query executing zero cells, with
+// output byte-identical to a cold 200-round sweep; re-querying at 1000
+// re-runs nothing but the cells no cached run can witness.
+func TestCrossHorizonCacheReuse(t *testing.T) {
+	// iid converges well inside 1000 rounds; noniid100 under Random
+	// stalls and runs the full horizon — both serving paths (converged
+	// entry, trace-prefix replay) are exercised.
+	g := sweep.Grid{
+		Workloads: []string{string(CNNMNIST)},
+		Settings:  []string{string(S3)},
+		Data:      []string{string(IdealIID), string(NonIID100)},
+		Envs:      []string{string(EnvField)},
+		Policies:  []string{string(PolicyRandom), string(PolicyAutoFL)},
+		Seed:      99,
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	long, err := cache.Open(dir, SweepSignature(g, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweepWith(ctx, g, SweepOptions{MaxRounds: 1000, Cache: long}); err != nil {
+		t.Fatal(err)
+	}
+	if st := long.Stats(); st.Misses != g.Size() {
+		t.Fatalf("long sweep stats = %+v", st)
+	}
+	if err := long.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-query at 200 rounds: zero executions, bytes identical to a
+	// cold 200-round sweep.
+	short, err := cache.Open(dir, SweepSignature(g, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer short.Close()
+	served, err := RunSweepWith(ctx, g, SweepOptions{MaxRounds: 200, Cache: short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := short.Stats(); st.Hits != g.Size() || st.Misses != 0 {
+		t.Errorf("200-round re-query executed cells: stats = %+v", st)
+	}
+	cold, err := RunSweep(ctx, g, 200, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sj, cj bytes.Buffer
+	if err := served.WriteJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.WriteJSON(&cj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj.Bytes(), cj.Bytes()) {
+		t.Error("trace-served 200-round JSON differs from a cold 200-round sweep")
+	}
+
+	// Re-query at the original 1000: every cell still served (the
+	// entries were recorded at this horizon).
+	full, err := cache.Open(dir, SweepSignature(g, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if _, err := RunSweepWith(ctx, g, SweepOptions{MaxRounds: 1000, Cache: full}); err != nil {
+		t.Fatal(err)
+	}
+	if st := full.Stats(); st.Hits != g.Size() || st.Misses != 0 {
+		t.Errorf("1000-round re-query executed cells: stats = %+v", st)
+	}
+}
