@@ -33,14 +33,35 @@
 //	autofl-sweep -cache-dir sweep.cache -rounds 200 \
 //	    -out grid200.json               # served entirely from the cache
 //	autofl-sweep -cache-dir sweep.cache -cache-gc
+//
+// One grid can span machines: -worker turns the process into a cell
+// server, and -workers makes it a coordinator farming cells to those
+// servers instead of executing in-process. Per-cell seeds derive from
+// the grid seed and cell identity — never from placement — so a
+// distributed run's JSON/CSV is byte-identical to a local (or serial)
+// run of the same grid and seed. Cache, cost scheduling, and
+// cross-horizon serving compose unchanged: the coordinator serves
+// cached cells locally and commits remote results into -cache-dir by
+// digest, and a worker lost mid-grid has its claimed cells re-queued
+// to the survivors:
+//
+//	autofl-sweep -worker :7070                      # on each machine
+//	autofl-sweep -workers host-a:7070,host-b:7070 \
+//	    -cache-dir sweep.cache -rounds 1000 -out grid.json
+//
+// Every run ends with a stats line on stderr — cells, wall-clock,
+// cache hits (incl. prefix replays)/misses, and per-worker cell
+// counts — so warm and distributed runs are auditable at a glance.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -48,6 +69,7 @@ import (
 	"autofl"
 	"autofl/internal/sweep"
 	"autofl/internal/sweep/cache"
+	"autofl/internal/sweep/dist"
 )
 
 func main() {
@@ -69,11 +91,20 @@ func main() {
 		resume     = flag.Bool("resume", true, "serve cells already in -cache-dir instead of re-running them")
 		cacheGC    = flag.Bool("cache-gc", false, "compact -cache-dir (drop superseded duplicates and mismatched entries) and exit")
 		sched      = flag.String("schedule", "cost", "cell claim order: cost (longest predicted first) or fifo")
+		worker     = flag.String("worker", "", "serve sweep cells to coordinators on this address (e.g. :7070); grid and output flags are ignored")
+		workers    = flag.String("workers", "", "comma-separated worker addresses to farm cells to instead of executing in-process")
 	)
 	flag.Parse()
 
 	if *list {
 		listAxes()
+		return
+	}
+	if *worker != "" {
+		if *workers != "" {
+			fatalf("-worker and -workers are mutually exclusive (a process is a cell server or a coordinator, not both)")
+		}
+		runWorker(*worker, *parallel)
 		return
 	}
 	if *cacheGC {
@@ -129,6 +160,17 @@ func main() {
 		CostSchedule: *sched == "cost",
 	}
 	runOpts.Parallel = *parallel
+	if *workers != "" {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				runOpts.Workers = append(runOpts.Workers, a)
+			}
+		}
+		if len(runOpts.Workers) == 0 {
+			fatalf("-workers selected no addresses")
+		}
+		runOpts.WorkerCells = make(map[string]int)
+	}
 	if *progress {
 		runOpts.OnProgress = func(p sweep.Progress) {
 			status := "ok"
@@ -170,17 +212,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "autofl-sweep: interrupted after %d of %d cells: %v\n",
 			store.Len(), grid.Size(), err)
 	}
-	if *progress {
-		fmt.Fprintf(os.Stderr, "%d cells in %s", store.Len(), time.Since(start).Round(time.Millisecond))
-		if runOpts.Cache != nil {
-			s := runOpts.Cache.Stats()
-			fmt.Fprintf(os.Stderr, " (%d cached, %d executed)", s.Hits, s.Misses)
-			if s.PrefixHits > 0 {
-				fmt.Fprintf(os.Stderr, " [%d replayed from longer-horizon entries]", s.PrefixHits)
-			}
-		}
-		fmt.Fprintln(os.Stderr)
+	// The final stats line is unconditional: warm runs (how much the
+	// cache saved) and distributed runs (who executed what) are
+	// auditable at a glance without re-running under -progress.
+	fmt.Fprintf(os.Stderr, "autofl-sweep: %d cells in %s", store.Len(), time.Since(start).Round(time.Millisecond))
+	if runOpts.Cache != nil {
+		s := runOpts.Cache.Stats()
+		fmt.Fprintf(os.Stderr, " | cache: %d hits (%d prefix), %d misses", s.Hits, s.PrefixHits, s.Misses)
 	}
+	if runOpts.WorkerCells != nil {
+		addrs := make([]string, 0, len(runOpts.WorkerCells))
+		for a := range runOpts.WorkerCells {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		fmt.Fprintf(os.Stderr, " | workers:")
+		if len(addrs) == 0 {
+			fmt.Fprintf(os.Stderr, " none")
+		}
+		for _, a := range addrs {
+			fmt.Fprintf(os.Stderr, " %s=%d", a, runOpts.WorkerCells[a])
+		}
+	}
+	fmt.Fprintln(os.Stderr)
 
 	var werr error
 	if *format == "csv" {
@@ -195,6 +249,37 @@ func main() {
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// runWorker turns the process into a cell server: it executes jobs
+// from coordinating autofl-sweep processes until interrupted, then
+// shuts down gracefully (in-flight coordinators see a closed
+// connection and re-queue). Traced jobs — sent by cache-backed
+// coordinators — run through the traced runner so remote results can
+// serve shorter horizons later.
+func runWorker(addr string, parallel int) {
+	w, err := dist.NewWorker(addr, parallel, func(rounds int, traced bool) sweep.Runner {
+		if traced {
+			return autofl.TracedSweepRunner(rounds)
+		}
+		return autofl.SweepRunner(rounds)
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "autofl-sweep: worker listening on %s\n", w.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // a second signal force-quits instead of being swallowed
+		w.Close()
+	}()
+	if err := w.Serve(); err != nil && !errors.Is(err, dist.ErrWorkerClosed) {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "autofl-sweep: worker served %d cells\n", w.Served())
 }
 
 // pickAxis resolves a comma-separated flag against the axis's known

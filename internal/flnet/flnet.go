@@ -17,11 +17,17 @@ package flnet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
+
+// ErrServerClosed is returned by Serve after Close tears the server
+// down, mirroring net/http's idiom: a deliberate shutdown is
+// distinguishable from a transport failure.
+var ErrServerClosed = errors.New("flnet: server closed")
 
 // message is the single wire envelope; Kind discriminates. A flat
 // struct keeps gob simple (no interface registration) and the payload
@@ -85,6 +91,7 @@ type Server struct {
 	listener net.Listener
 
 	mu      sync.Mutex
+	closed  bool
 	clients map[int]*clientConn
 	history []RoundRecord
 	params  []float64
@@ -123,6 +130,46 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Addr is the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
+// Close shuts the server down: the listener stops accepting (waking a
+// Serve blocked in its registration loop, which then returns
+// ErrServerClosed) and every registered client connection is closed,
+// unblocking any in-flight round I/O. Close is idempotent and safe to
+// call from any goroutine — it is the cancellation path the original
+// accept loop lacked.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*clientConn, 0, len(s.clients))
+	for _, cc := range s.clients {
+		conns = append(conns, cc)
+	}
+	s.mu.Unlock()
+
+	err := s.listener.Close()
+	for _, cc := range conns {
+		cc.conn.Close()
+	}
+	return err
+}
+
+// isClosed reports whether Close has been called.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// clientCount reports the number of registered devices.
+func (s *Server) clientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
 // History returns the per-round records after Serve completes.
 func (s *Server) History() []RoundRecord { return s.history }
 
@@ -134,28 +181,45 @@ func (s *Server) Params() []float64 {
 }
 
 // Serve accepts the configured number of clients, runs all rounds, and
-// shuts the cluster down. It blocks until training completes.
+// shuts the cluster down. It blocks until training completes — or
+// until Close is called from another goroutine, which aborts the
+// accept loop and any in-flight round and makes Serve return
+// ErrServerClosed.
 func (s *Server) Serve() error {
 	defer s.listener.Close()
 
 	// Registration phase: accept until all devices check in.
-	for len(s.clients) < s.cfg.Clients {
+	for s.clientCount() < s.cfg.Clients {
 		conn, err := s.listener.Accept()
 		if err != nil {
+			if s.isClosed() {
+				return ErrServerClosed
+			}
 			return fmt.Errorf("flnet: accept: %w", err)
 		}
 		cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 		var hello message
 		if err := cc.dec.Decode(&hello); err != nil || hello.Kind != kindHello {
 			conn.Close()
+			if s.isClosed() {
+				return ErrServerClosed
+			}
 			return fmt.Errorf("flnet: bad hello: %v", err)
 		}
 		cc.id = hello.DeviceID
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
 		if _, dup := s.clients[cc.id]; dup {
+			s.mu.Unlock()
 			conn.Close()
 			return fmt.Errorf("flnet: duplicate device id %d", cc.id)
 		}
 		s.clients[cc.id] = cc
+		s.mu.Unlock()
 	}
 
 	ids := make([]int, 0, len(s.clients))
@@ -165,6 +229,9 @@ func (s *Server) Serve() error {
 	sortInts(ids)
 
 	for round := 0; round < s.cfg.Rounds; round++ {
+		if s.isClosed() {
+			return ErrServerClosed
+		}
 		selected := s.selectFor(round, ids)
 		// Step 2: broadcast the global model to the selected devices.
 		for _, id := range selected {
@@ -178,6 +245,9 @@ func (s *Server) Serve() error {
 				LR:     s.cfg.LR,
 			})
 			if err != nil {
+				if s.isClosed() {
+					return ErrServerClosed
+				}
 				return fmt.Errorf("flnet: assign to %d: %w", id, err)
 			}
 		}
@@ -210,6 +280,12 @@ func (s *Server) Serve() error {
 			vectors = append(vectors, r.msg.Params)
 			weights = append(weights, float64(r.msg.Samples))
 			received++
+		}
+		// A shutdown during the collect phase looks like every device
+		// straggling (their conns were closed under us); don't let it
+		// masquerade as a real zero-update round in the history.
+		if s.isClosed() {
+			return ErrServerClosed
 		}
 		// Step 5: aggregate.
 		if len(vectors) > 0 {

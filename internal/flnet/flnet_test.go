@@ -1,6 +1,7 @@
 package flnet
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -133,6 +134,57 @@ func TestRotationCoversAllDevices(t *testing.T) {
 	}
 	if len(seen) != len(ids) {
 		t.Errorf("rotation covered %d/%d devices", len(seen), len(ids))
+	}
+}
+
+// TestServerCloseUnblocksAccept pins the graceful-shutdown path: a
+// Serve blocked in its registration accept loop (fewer clients than
+// configured ever connect) must return ErrServerClosed promptly when
+// Close is called from another goroutine, instead of hanging forever.
+func TestServerCloseUnblocksAccept(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: 3, Rounds: 1, K: 1,
+		InitialParams: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One client registers and then waits for an assignment that will
+	// never come; its connection must be closed by Close too.
+	clientDone := make(chan error, 1)
+	go func() {
+		c := &Client{DeviceID: 0, Train: func(p []float64, e, b int, lr float64) ([]float64, int, error) {
+			return p, 1, nil
+		}}
+		clientDone <- c.Run(srv.Addr())
+	}()
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	time.Sleep(50 * time.Millisecond) // let the client register
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	select {
+	case err := <-clientDone:
+		if err == nil {
+			t.Error("client must observe the shutdown as an error (no done message was sent)")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not return after Close")
+	}
+	// Idempotent: a second Close is a no-op.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
 	}
 }
 

@@ -473,6 +473,19 @@ func (c *Cache) serve(cell sweep.Cell, seed uint64) (sweep.Outcome, bool) {
 	return sweep.Outcome{}, false
 }
 
+// Serve answers one cell lookup at the signature horizon — exactly,
+// as-is for a run converged within the request, or by trace-prefix
+// replay — updating Stats like a Runner lookup (a hit counts toward
+// Hits/PrefixHits, a miss toward Misses). It is the coordinator-side
+// half of the distributed execution path: internal/sweep/dist serves
+// hits locally through it before shipping the missing cells to
+// workers, and commits their results back with Put, so a shared cache
+// dedups cells across machines by digest exactly as it does across
+// goroutines.
+func (c *Cache) Serve(cell sweep.Cell, seed uint64) (sweep.Outcome, bool) {
+	return c.serve(cell, seed)
+}
+
 // Runner wraps a sweep.Runner with the cache: hits — including
 // requests a longer-horizon entry can answer by trace-prefix replay —
 // are served without executing; misses execute and record the result

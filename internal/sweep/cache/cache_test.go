@@ -101,6 +101,45 @@ func mustOpen(t *testing.T, dir string, sig Signature) *Cache {
 	return c
 }
 
+// TestServeMatchesRunnerLookups pins the exported Serve path the
+// distributed coordinator uses: same answers, same stats accounting,
+// as the Runner wrapper's internal lookups.
+func TestServeMatchesRunnerLookups(t *testing.T) {
+	g := testGrid()
+	c := mustOpen(t, t.TempDir(), testSig())
+
+	cells := g.Cells()
+	// Misses on an empty cache count toward Stats.Misses, like the
+	// Runner's execute path.
+	if _, ok := c.Serve(cells[0], g.CellSeed(cells[0])); ok {
+		t.Fatal("empty cache served a cell")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats after miss = %+v", st)
+	}
+
+	// Commit one cell the way the coordinator does, then Serve must
+	// hit with the identical outcome — and a wrong seed must not.
+	seed := g.CellSeed(cells[0])
+	out, err := fakeRunner(context.Background(), cells[0], seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(sweep.Result{Cell: cells[0], Seed: seed, Outcome: out}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Serve(cells[0], seed)
+	if !ok || got != out {
+		t.Fatalf("Serve = %+v ok=%v, want the committed outcome", got, ok)
+	}
+	if _, ok := c.Serve(cells[0], seed+1); ok {
+		t.Error("Serve hit with a mismatched seed")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("stats after hit+bad-seed = %+v", st)
+	}
+}
+
 // TestWarmRerunExecutesNothing is the headline acceptance bar: a rerun
 // of a finished grid against its cache executes zero cells and emits
 // byte-identical JSON and CSV to the cold run.

@@ -1,0 +1,285 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autofl/internal/sweep"
+	"autofl/internal/sweep/cache"
+)
+
+// RemoteExecutor is the distributed execution strategy: a
+// sweep.Executor that dials Worker processes and farms tasks to them,
+// pipelining up to each worker's advertised capacity. Delivery is
+// at-least-once — a lost worker's in-flight cells are re-queued to the
+// survivors — and idempotent end to end: the engine keeps the first
+// result per cell index, and cache commits dedup by cell digest, so a
+// re-executed cell (whose outcome is identical anyway, by the per-cell
+// seed derivation) changes nothing.
+//
+// With a Cache attached, the coordinator serves cached cells locally —
+// including shorter-horizon requests answered by trace-prefix replay —
+// and ships only the misses, committing every remote result back into
+// the cache with its worker-measured wall-clock. A fully cached grid
+// never dials at all. The same directory can back local and
+// distributed sweeps interchangeably.
+//
+// A RemoteExecutor is single-flight: one Execute call at a time.
+type RemoteExecutor struct {
+	// Addrs are the worker addresses to dial. At least one must accept
+	// and complete the version handshake, or Execute fails.
+	Addrs []string
+	// Rounds is the horizon bound stamped on every job, normalized by
+	// the caller (the root package maps 0 to the paper's 1000; a zero
+	// value here defers to the workers' RunnerFor default).
+	Rounds int
+	// Traced requests per-round trace payloads from workers so cache
+	// commits can serve shorter horizons later. Set it when (and only
+	// when) Cache is set: traces ride the wire only to be stripped
+	// before results reach the store.
+	Traced bool
+	// Cache, when non-nil, serves hits locally and commits remote
+	// results. It must be open under the sweep's signature.
+	Cache *cache.Cache
+	// DialTimeout bounds the dial and version handshake per worker
+	// (default 10s).
+	DialTimeout time.Duration
+
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// Counts reports completed cells per worker address for the most
+// recent Execute call — the audit trail cmd/autofl-sweep prints in its
+// final stats line. Cells served from the cache are not counted here
+// (they appear in the cache's own Stats).
+func (e *RemoteExecutor) Counts() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int, len(e.counts))
+	for a, n := range e.counts {
+		out[a] = n
+	}
+	return out
+}
+
+func (e *RemoteExecutor) dialTimeout() time.Duration {
+	if e.DialTimeout > 0 {
+		return e.DialTimeout
+	}
+	return 10 * time.Second
+}
+
+// Execute implements sweep.Executor. The local Runner is deliberately
+// ignored: every non-cached cell executes on a worker, which is what
+// makes "0 local executions" checkable — the engine's runner can be a
+// guard that fails the cell if it ever runs.
+func (e *RemoteExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ sweep.Runner, emit func(int, sweep.Result)) error {
+	if len(e.Addrs) == 0 {
+		return errors.New("dist: no worker addresses")
+	}
+	e.mu.Lock()
+	e.counts = make(map[string]int, len(e.Addrs))
+	e.mu.Unlock()
+
+	// Cache pass: serve what the cache can witness, queue the rest.
+	pending := make([]sweep.Task, 0, len(tasks))
+	for _, t := range tasks {
+		if e.Cache != nil {
+			if out, ok := e.Cache.Serve(t.Cell, t.Seed); ok {
+				emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out})
+				continue
+			}
+		}
+		pending = append(pending, t)
+	}
+	if len(pending) == 0 {
+		return nil // fully served; never dial
+	}
+
+	// The queue holds every task not yet claimed by a connection. Its
+	// capacity is an invariant, not a guess: a task is always either
+	// queued or in exactly one worker's in-flight set, so re-queuing a
+	// dead worker's claims can never block.
+	queue := make(chan sweep.Task, len(pending))
+	for _, t := range pending {
+		queue <- t
+	}
+	var (
+		remaining = int64(len(pending))
+		done      = make(chan struct{}) // closed when remaining hits 0
+		closeOnce sync.Once
+	)
+	finish := func() {
+		if atomic.AddInt64(&remaining, -1) == 0 {
+			closeOnce.Do(func() { close(done) })
+		}
+	}
+
+	errs := make([]error, len(e.Addrs))
+	var wg sync.WaitGroup
+	for i, addr := range e.Addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			errs[i] = e.runWorker(ctx, addr, queue, done, emit, finish)
+		}(i, addr)
+	}
+	wg.Wait()
+
+	select {
+	case <-done:
+		// Every pending cell was delivered; individual worker failures
+		// along the way were absorbed by re-queuing.
+		return ctx.Err()
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("dist: %d cells unfinished, all workers gone (first failure: %w)", atomic.LoadInt64(&remaining), err)
+		}
+	}
+	return fmt.Errorf("dist: %d cells unfinished, all workers gone", atomic.LoadInt64(&remaining))
+}
+
+// runWorker drives one worker connection: dial, version handshake,
+// then a claim/submit loop pipelining up to the advertised capacity,
+// with a reader goroutine delivering results as they stream back. On
+// any connection failure the worker's in-flight tasks go back on the
+// queue and the error is returned; the sweep survives as long as one
+// worker does.
+func (e *RemoteExecutor) runWorker(ctx context.Context, addr string, queue chan sweep.Task, done <-chan struct{}, emit func(int, sweep.Result), finish func()) error {
+	d := net.Dialer{Timeout: e.dialTimeout()}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	// Banner under a deadline so an endpoint that is not a worker (or
+	// speaks another version) cannot hang the sweep.
+	conn.SetReadDeadline(time.Now().Add(e.dialTimeout()))
+	m, err := readMessage(conn)
+	if err != nil {
+		return fmt.Errorf("dist: %s: reading hello: %w", addr, err)
+	}
+	if m.Kind != kindHello || m.Hello == nil {
+		return fmt.Errorf("dist: %s: expected hello, got %q", addr, m.Kind)
+	}
+	if m.Hello.Version != ProtocolVersion {
+		return fmt.Errorf("dist: %s: protocol version %d, want %d", addr, m.Hello.Version, ProtocolVersion)
+	}
+	capacity := m.Hello.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	var (
+		imu      sync.Mutex
+		inflight = make(map[int]sweep.Task, capacity)
+		slots    = make(chan struct{}, capacity)
+	)
+	// requeue returns every undelivered claim to the shared queue for
+	// the surviving workers (at-least-once delivery).
+	requeue := func() {
+		imu.Lock()
+		for _, t := range inflight {
+			queue <- t
+		}
+		inflight = make(map[int]sweep.Task)
+		imu.Unlock()
+	}
+
+	readerErr := make(chan error, 1)
+	go func() {
+		for {
+			m, err := readMessage(conn)
+			if err != nil {
+				readerErr <- err
+				return
+			}
+			if m.Kind != kindResult || m.Result == nil {
+				readerErr <- fmt.Errorf("dist: %s: unexpected %q frame", addr, m.Kind)
+				return
+			}
+			res := *m.Result
+			imu.Lock()
+			t, ok := inflight[res.ID]
+			delete(inflight, res.ID)
+			imu.Unlock()
+			if !ok {
+				continue // not ours (already re-queued elsewhere): drop
+			}
+			e.deliver(addr, t, res, emit)
+			<-slots
+			finish()
+		}
+	}()
+
+	for {
+		// A free pipeline slot first, then a task to fill it.
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case err := <-readerErr:
+			requeue()
+			return fmt.Errorf("dist: %s: %w", addr, err)
+		case slots <- struct{}{}:
+		}
+		var t sweep.Task
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case err := <-readerErr:
+			requeue()
+			return fmt.Errorf("dist: %s: %w", addr, err)
+		case t = <-queue:
+		}
+		imu.Lock()
+		inflight[t.Index] = t
+		imu.Unlock()
+		job := e.jobFor(t)
+		if err := writeMessage(conn, message{Kind: kindJob, Job: &job}); err != nil {
+			requeue()
+			return err
+		}
+	}
+}
+
+// jobFor stamps one task into its wire form.
+func (e *RemoteExecutor) jobFor(t sweep.Task) Job {
+	j := Job{ID: t.Index, Cell: t.Cell, Seed: t.Seed, Rounds: e.Rounds, Traced: e.Traced}
+	if e.Cache != nil {
+		j.Digest = e.Cache.Signature().CellDigest(t.Cell)
+	}
+	return j
+}
+
+// deliver commits one remote result (cache first, by digest; then the
+// engine's emit) and charges it to the worker's count. The trace
+// payload, if any, stops at the cache — exactly like the local
+// cache.Runner path, so distributed output is byte-identical to local.
+func (e *RemoteExecutor) deliver(addr string, t sweep.Task, res JobResult, emit func(int, sweep.Result)) {
+	out := res.Outcome
+	if e.Cache != nil && res.Err == "" {
+		_ = e.Cache.Put(sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out}, res.WallSeconds)
+	}
+	out.Trace = nil
+	emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out, Err: res.Err})
+	e.mu.Lock()
+	e.counts[addr]++
+	e.mu.Unlock()
+}

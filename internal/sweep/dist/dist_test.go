@@ -1,0 +1,371 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autofl/internal/rng"
+	"autofl/internal/sweep"
+	"autofl/internal/sweep/cache"
+)
+
+// testGrid is a 24-cell grid matching the engine tests' shape: enough
+// cells for both workers to claim real work.
+func testGrid() sweep.Grid {
+	return sweep.Grid{
+		Workloads:  []string{"CNN-MNIST"},
+		Settings:   []string{"S3"},
+		Data:       []string{"iid", "noniid50"},
+		Envs:       []string{"ideal", "field"},
+		Policies:   []string{"FedAvg-Random", "AutoFL", "Power"},
+		Replicates: 1,
+		Seed:       777,
+	}
+}
+
+// fakeRunner is a pure function of the cell seed, standing in for a
+// Scenario run on either side of the wire.
+func fakeRunner(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+	s := rng.New(seed)
+	return sweep.Outcome{
+		Converged:       s.Bool(0.5),
+		Rounds:          1 + s.IntN(100),
+		TimeToTargetSec: 10 * s.Float64(),
+		EnergyToTargetJ: 100 * s.Float64(),
+		GlobalPPW:       s.Float64(),
+		LocalPPW:        s.Float64(),
+		FinalAccuracy:   s.Float64(),
+	}, nil
+}
+
+func fakeRunners(rounds int, traced bool) sweep.Runner { return fakeRunner }
+
+// noLocal is the engine-side runner for distributed runs: any local
+// execution is a test failure (and an errored cell, which would also
+// break byte-identity).
+func noLocal(t *testing.T) sweep.Runner {
+	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		t.Errorf("cell %s executed locally in distributed mode", c.Key())
+		return sweep.Outcome{}, errors.New("local execution in distributed mode")
+	}
+}
+
+// startWorker spins up a loopback worker on its own goroutine.
+func startWorker(t *testing.T, parallel int, runners RunnerFor) *Worker {
+	t.Helper()
+	w, err := NewWorker("127.0.0.1:0", parallel, runners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve()
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func storeJSON(t *testing.T, s *sweep.ResultStore) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	job := Job{ID: 7, Cell: sweep.Cell{Workload: "CNN-MNIST", Policy: "AutoFL"}, Seed: 42, Rounds: 100, Traced: true, Digest: "abc"}
+	if err := writeMessage(&buf, message{Kind: kindJob, Job: &job}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != kindJob || m.Job == nil || *m.Job != job {
+		t.Fatalf("round-trip mismatch: %+v", m)
+	}
+
+	// A corrupt length prefix must be rejected, not allocated.
+	bad := bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0})
+	if _, err := readMessage(bad); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized frame accepted: %v", err)
+	}
+}
+
+// TestLoopbackDistributedSweep is the core distributed guarantee: a
+// coordinator plus two in-process workers produce byte-identical
+// output to a serial local run, with every cell executed remotely.
+func TestLoopbackDistributedSweep(t *testing.T) {
+	g := testGrid()
+	serial, err := sweep.Run(context.Background(), g, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1 := startWorker(t, 2, fakeRunners)
+	w2 := startWorker(t, 2, fakeRunners)
+	re := &RemoteExecutor{Addrs: []string{w1.Addr(), w2.Addr()}, Rounds: 100}
+	dist, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: re})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(storeJSON(t, serial), storeJSON(t, dist)) {
+		t.Error("distributed JSON differs from serial local JSON")
+	}
+
+	counts := re.Counts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != g.Size() {
+		t.Errorf("per-worker counts sum to %d, want %d (counts: %v)", total, g.Size(), counts)
+	}
+	if w1.Served()+w2.Served() != g.Size() {
+		t.Errorf("workers served %d+%d cells, want %d", w1.Served(), w2.Served(), g.Size())
+	}
+	if len(counts) != 2 || counts[w1.Addr()] == 0 || counts[w2.Addr()] == 0 {
+		t.Errorf("both workers should claim cells on a 24-cell grid: %v", counts)
+	}
+}
+
+// TestWorkerDeathRequeues kills one of two workers mid-grid: its
+// claimed cells must be re-queued to the survivor, the sweep must
+// complete every cell, and the bytes must still match a serial run.
+func TestWorkerDeathRequeues(t *testing.T) {
+	g := testGrid()
+	serial, err := sweep.Run(context.Background(), g, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1 := startWorker(t, 2, fakeRunners)
+	var w2 *Worker
+	var executed int32
+	dying := func(rounds int, traced bool) sweep.Runner {
+		return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+			if atomic.AddInt32(&executed, 1) == 4 {
+				go w2.Close() // async: Close waits for handlers, so a synchronous call would deadlock
+			}
+			return fakeRunner(ctx, c, seed)
+		}
+	}
+	w2 = startWorker(t, 1, dying)
+
+	re := &RemoteExecutor{Addrs: []string{w1.Addr(), w2.Addr()}, Rounds: 100}
+	dist, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: re})
+	if err != nil {
+		t.Fatalf("sweep must survive a worker death: %v", err)
+	}
+	if dist.Len() != g.Size() {
+		t.Fatalf("completed %d of %d cells after worker death", dist.Len(), g.Size())
+	}
+	if !bytes.Equal(storeJSON(t, serial), storeJSON(t, dist)) {
+		t.Error("post-death distributed JSON differs from serial local JSON")
+	}
+}
+
+// TestDistributedCacheCommit pins the shared-cache path: a cold
+// distributed run misses and commits every cell by digest; a second
+// distributed run against the same cache serves everything locally
+// without dialing a single worker (the addresses are unroutable on
+// purpose).
+func TestDistributedCacheCommit(t *testing.T) {
+	g := testGrid()
+	sig := cache.Signature{GridSeed: g.Seed, Rounds: 100}
+	dir := t.TempDir()
+
+	cold, err := cache.Open(dir, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := startWorker(t, 0, fakeRunners)
+	re := &RemoteExecutor{Addrs: []string{w.Addr()}, Rounds: sig.Rounds, Cache: cold}
+	coldStore, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: re})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Hits != 0 || st.Misses != g.Size() {
+		t.Errorf("cold distributed stats = %+v, want %d misses", st, g.Size())
+	}
+	if cold.Len() != g.Size() {
+		t.Errorf("cache committed %d of %d remote results", cold.Len(), g.Size())
+	}
+	for _, r := range coldStore.Results() {
+		if !cold.Has(r.Cell) {
+			t.Errorf("cell %s missing from cache after remote commit", r.Cell.Key())
+		}
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := cache.Open(dir, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	// Unroutable workers: if the warm run dials at all, it fails loudly.
+	reWarm := &RemoteExecutor{Addrs: []string{"127.0.0.1:1"}, Rounds: sig.Rounds, Cache: warm, DialTimeout: time.Second}
+	warmStore, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: reWarm})
+	if err != nil {
+		t.Fatalf("fully cached distributed run must not dial: %v", err)
+	}
+	if st := warm.Stats(); st.Hits != g.Size() || st.Misses != 0 {
+		t.Errorf("warm distributed stats = %+v", st)
+	}
+	if !bytes.Equal(storeJSON(t, coldStore), storeJSON(t, warmStore)) {
+		t.Error("warm distributed JSON differs from cold distributed JSON")
+	}
+}
+
+func TestAllWorkersUnreachable(t *testing.T) {
+	g := testGrid()
+	re := &RemoteExecutor{Addrs: []string{"127.0.0.1:1"}, Rounds: 10, DialTimeout: time.Second}
+	store, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: re})
+	if err == nil {
+		t.Fatal("sweep with no reachable workers must fail")
+	}
+	if store.Len() != 0 {
+		t.Errorf("no cells should complete, got %d", store.Len())
+	}
+}
+
+func TestNoAddresses(t *testing.T) {
+	re := &RemoteExecutor{}
+	if _, err := sweep.Run(context.Background(), testGrid(), noLocal(t), sweep.Options{Executor: re}); err == nil {
+		t.Fatal("empty address list must fail")
+	}
+}
+
+// TestHandshakeRejectsVersionMismatch dials an endpoint speaking a
+// future protocol version; the coordinator must refuse it.
+func TestHandshakeRejectsVersionMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		writeMessage(conn, message{Kind: kindHello, Hello: &Hello{Version: ProtocolVersion + 1, Capacity: 1}})
+		time.Sleep(2 * time.Second)
+		conn.Close()
+	}()
+
+	re := &RemoteExecutor{Addrs: []string{ln.Addr().String()}, Rounds: 10, DialTimeout: 2 * time.Second}
+	_, err = sweep.Run(context.Background(), testGrid(), noLocal(t), sweep.Options{Executor: re})
+	if err == nil || !strings.Contains(err.Error(), "protocol version") {
+		t.Fatalf("version mismatch not rejected: %v", err)
+	}
+}
+
+// TestDistributedCancellation cancels mid-sweep: the coordinator
+// returns the context error with the partial results intact, and the
+// worker survives for the next sweep.
+func TestDistributedCancellation(t *testing.T) {
+	g := testGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed int32
+	slow := func(rounds int, traced bool) sweep.Runner {
+		return func(c context.Context, cell sweep.Cell, seed uint64) (sweep.Outcome, error) {
+			if atomic.AddInt32(&executed, 1) == 3 {
+				cancel()
+			}
+			time.Sleep(10 * time.Millisecond)
+			return fakeRunner(c, cell, seed)
+		}
+	}
+	w := startWorker(t, 1, slow)
+	re := &RemoteExecutor{Addrs: []string{w.Addr()}, Rounds: 10}
+	store, err := sweep.Run(ctx, g, noLocal(t), sweep.Options{Executor: re})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if store.Len() >= g.Size() {
+		t.Errorf("cancellation did not stop the sweep: %d cells", store.Len())
+	}
+
+	// The worker is still usable after the canceled coordinator left.
+	re2 := &RemoteExecutor{Addrs: []string{w.Addr()}, Rounds: 10}
+	again, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: re2})
+	if err != nil {
+		t.Fatalf("worker unusable after canceled sweep: %v", err)
+	}
+	if again.Len() != g.Size() {
+		t.Errorf("second sweep completed %d of %d cells", again.Len(), g.Size())
+	}
+}
+
+// TestUndeliverableResultFailsLoudly pins the no-hang guarantee: a
+// result the worker cannot frame (NaN is unrepresentable in JSON, so
+// the marshal fails) must break the connection — re-queuing the cell
+// and, with no surviving worker able to deliver it either, failing the
+// sweep — rather than silently dropping the job and deadlocking the
+// coordinator.
+func TestUndeliverableResultFailsLoudly(t *testing.T) {
+	nan := func(rounds int, traced bool) sweep.Runner {
+		return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+			return sweep.Outcome{FinalAccuracy: math.NaN()}, nil
+		}
+	}
+	w := startWorker(t, 1, nan)
+	re := &RemoteExecutor{Addrs: []string{w.Addr()}, Rounds: 10, DialTimeout: time.Second}
+
+	type res struct {
+		store *sweep.ResultStore
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := sweep.Run(context.Background(), testGrid(), noLocal(t), sweep.Options{Executor: re})
+		ch <- res{s, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err == nil {
+			t.Error("a sweep whose results can never be delivered must fail, not succeed")
+		}
+		if r.store.Len() != 0 {
+			t.Errorf("%d cells completed despite undeliverable results", r.store.Len())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep hung on an undeliverable result")
+	}
+}
+
+// TestWorkerCloseUnblocksServe pins the worker's graceful-shutdown
+// idiom (mirroring flnet.Server.Close).
+func TestWorkerCloseUnblocksServe(t *testing.T) {
+	w, err := NewWorker("127.0.0.1:0", 1, fakeRunners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- w.Serve() }()
+	time.Sleep(20 * time.Millisecond)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-served:
+		if !errors.Is(err, ErrWorkerClosed) {
+			t.Errorf("Serve returned %v, want ErrWorkerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

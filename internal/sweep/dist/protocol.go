@@ -1,0 +1,156 @@
+// Package dist distributes sweep execution across machines: a
+// RemoteExecutor (the sweep.Executor a coordinating process plugs into
+// sweep.Options) farms cells to Worker processes over a length-prefixed
+// JSON wire protocol, and commits their results straight into the v2
+// result cache by cell digest.
+//
+// The design leans on two invariants the rest of the stack already
+// guarantees. First, cell outcomes are pure functions of (cell, seed,
+// horizon) — per-cell seeds derive from the grid seed and the cell's
+// identity, never from placement — so executing a cell on another
+// machine cannot change a single output byte. Second, the cache's
+// CellDigest is an injective content address of (grid seed, cell), so
+// remote results have a natural dedup/commit key: delivery is
+// at-least-once (a lost worker's claimed cells are re-queued), and both
+// the engine's emit path and the cache's duplicate-digest resolution
+// make redundant deliveries harmless.
+//
+// Wire protocol, per coordinator→worker connection:
+//
+//	worker → coordinator   hello{version, capacity}        (once, on accept)
+//	coordinator → worker   job{id, cell, seed, rounds, traced, digest}
+//	worker → coordinator   result{id, digest, outcome, err, wall_seconds}
+//
+// The coordinator pipelines up to the advertised capacity of jobs per
+// worker; the worker executes them on a local pool and streams results
+// back in completion order. Framing is a 4-byte big-endian length
+// prefix followed by a JSON body (the framing idiom of
+// internal/flnet's message envelope, with JSON instead of gob so
+// payloads round-trip float64 exactly the way the exporters and the
+// cache already rely on).
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"autofl/internal/sweep"
+)
+
+// ProtocolVersion gates the wire format. A coordinator refuses a
+// worker that advertises a different version rather than misreading
+// its frames.
+const ProtocolVersion = 1
+
+// maxFrame bounds a single frame's body. Job and result payloads are
+// small (a traced 1000-round outcome is ~100 KB of JSON); the bound
+// exists so a corrupt or hostile length prefix cannot trigger an
+// absurd allocation.
+const maxFrame = 64 << 20
+
+// Frame kinds, discriminating the message envelope like
+// internal/flnet's Kind field.
+const (
+	kindHello  = "hello"
+	kindJob    = "job"
+	kindResult = "result"
+)
+
+// Hello is the worker's banner, sent once per connection before any
+// jobs flow.
+type Hello struct {
+	// Version must equal ProtocolVersion.
+	Version int `json:"version"`
+	// Capacity is the number of jobs the worker executes concurrently;
+	// the coordinator keeps at most this many in flight on the
+	// connection.
+	Capacity int `json:"capacity"`
+}
+
+// Job is one cell execution request. It is self-contained — cell,
+// derived seed, round horizon, and trace flag — so workers are
+// stateless between jobs and one worker can serve sweeps at different
+// horizons back to back.
+type Job struct {
+	// ID echoes sweep.Task.Index: the coordinator's result key.
+	ID   int        `json:"id"`
+	Cell sweep.Cell `json:"cell"`
+	Seed uint64     `json:"seed"`
+	// Rounds is the horizon bound for the run (already normalized by
+	// the coordinator; never 0).
+	Rounds int `json:"rounds"`
+	// Traced requests a per-round sweep.RunTrace payload on the
+	// outcome, for the coordinator's cache commit.
+	Traced bool `json:"traced"`
+	// Digest is the cell's cache content address under the sweep's
+	// grid seed, carried for auditability (logs on either end can key
+	// by it); the coordinator never trusts the echo, it recomputes
+	// commits from its own signature.
+	Digest string `json:"digest,omitempty"`
+}
+
+// JobResult is one completed cell, streamed back in completion order.
+type JobResult struct {
+	ID     int    `json:"id"`
+	Digest string `json:"digest,omitempty"`
+	// Outcome carries the trace payload when the job requested one.
+	Outcome sweep.Outcome `json:"outcome"`
+	// Err is the cell's error (or recovered panic), exactly as
+	// sweep.ExecuteTask isolates it locally.
+	Err string `json:"err,omitempty"`
+	// WallSeconds is the worker-measured execution time, the
+	// scheduler-calibration signal the cache records.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// message is the single wire envelope (the flnet idiom: one flat
+// struct, Kind discriminates).
+type message struct {
+	Kind   string     `json:"kind"`
+	Hello  *Hello     `json:"hello,omitempty"`
+	Job    *Job       `json:"job,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// writeMessage frames and writes one message: 4-byte big-endian body
+// length, then the JSON body, as a single Write so concurrent writers
+// need only serialize the call, not the bytes.
+func writeMessage(w io.Writer, m message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s: %w", m.Kind, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("dist: %s frame of %d bytes exceeds the %d-byte bound", m.Kind, len(body), maxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("dist: write %s: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// readMessage reads one length-prefixed frame and decodes it.
+func readMessage(r io.Reader) (message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return message{}, fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte bound", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return message{}, fmt.Errorf("dist: short frame: %w", err)
+	}
+	var m message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return message{}, fmt.Errorf("dist: decode frame: %w", err)
+	}
+	return m, nil
+}

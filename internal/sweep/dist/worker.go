@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autofl/internal/sweep"
+)
+
+// ErrWorkerClosed is returned by Worker.Serve after Close tears the
+// worker down (the flnet Server.Close idiom: a deliberate shutdown is
+// distinguishable from a transport failure).
+var ErrWorkerClosed = errors.New("dist: worker closed")
+
+// RunnerFor maps a job's execution parameters — the round horizon and
+// whether a per-round trace is requested — to the sweep.Runner that
+// executes it. The indirection keeps workers horizon-agnostic: one
+// long-lived worker process serves coordinators sweeping at any
+// -rounds value, traced (cache-backed) or not.
+type RunnerFor func(rounds int, traced bool) sweep.Runner
+
+// Worker serves sweep cells to coordinators: it accepts connections,
+// reads job frames, executes each cell in-process through the runner
+// RunnerFor selects (with sweep.ExecuteTask's panic isolation), and
+// streams results back. Multiple coordinator connections are served
+// concurrently; each gets its own job pool of the advertised capacity.
+type Worker struct {
+	ln       net.Listener
+	runners  RunnerFor
+	parallel int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	handlers sync.WaitGroup
+	served   atomic.Int64
+}
+
+// NewWorker listens on addr (":0" picks a free port; see Addr) and
+// returns a worker executing up to parallel jobs concurrently per
+// connection (values < 1 select GOMAXPROCS). Call Serve to accept
+// coordinators.
+func NewWorker(addr string, parallel int, runners RunnerFor) (*Worker, error) {
+	if runners == nil {
+		return nil, fmt.Errorf("dist: worker needs a RunnerFor")
+	}
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Worker{
+		ln:       ln,
+		runners:  runners,
+		parallel: parallel,
+		ctx:      ctx,
+		cancel:   cancel,
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Served reports the number of jobs executed to completion since the
+// worker started.
+func (w *Worker) Served() int { return int(w.served.Load()) }
+
+// Serve accepts coordinator connections until Close, then returns
+// ErrWorkerClosed. Each connection is handled on its own goroutine;
+// Serve itself only accepts.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			if w.isClosed() {
+				return ErrWorkerClosed
+			}
+			return fmt.Errorf("dist: accept: %w", err)
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return ErrWorkerClosed
+		}
+		w.conns[conn] = struct{}{}
+		w.handlers.Add(1)
+		w.mu.Unlock()
+		go func() {
+			defer w.handlers.Done()
+			w.handle(conn)
+		}()
+	}
+}
+
+// Close shuts the worker down: the listener stops accepting (waking a
+// blocked Serve, which returns ErrWorkerClosed), every coordinator
+// connection is closed (unblocking their reads), in-flight cell
+// executions are canceled through the worker context, and Close waits
+// for the connection handlers to drain. Idempotent.
+//
+// Connections close before the context cancels, deliberately: a job
+// interrupted by shutdown must surface to its coordinator as a broken
+// connection (→ re-queue to a surviving worker), never as a
+// successfully delivered "context canceled" cell error — the engine's
+// first-result-wins dedup would pin that bogus result permanently.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+
+	err := w.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	w.cancel()
+	w.handlers.Wait()
+	return err
+}
+
+// isClosed reports whether Close has been called.
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// handle serves one coordinator connection: banner, then a
+// read-jobs/write-results loop with at most w.parallel cells executing
+// at once. A broken connection ends the handler; the coordinator
+// re-queues whatever it had in flight.
+func (w *Worker) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+
+	var wmu sync.Mutex // serializes result frames from the job pool
+	write := func(m message) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeMessage(conn, m)
+	}
+	if err := write(message{Kind: kindHello, Hello: &Hello{Version: ProtocolVersion, Capacity: w.parallel}}); err != nil {
+		return
+	}
+
+	slots := make(chan struct{}, w.parallel)
+	var jobs sync.WaitGroup
+	defer jobs.Wait() // don't tear the write mutex out from under the pool
+	for {
+		m, err := readMessage(conn)
+		if err != nil {
+			return // coordinator done (or gone); either way this session is over
+		}
+		if m.Kind != kindJob || m.Job == nil {
+			return // protocol violation: drop the connection, not the process
+		}
+		job := *m.Job
+		slots <- struct{}{}
+		jobs.Add(1)
+		go func() {
+			defer func() { <-slots; jobs.Done() }()
+			res := w.execute(job)
+			if w.ctx.Err() != nil {
+				// Shutdown raced the execution: the outcome may be a
+				// cancellation artifact. Drop it and break the
+				// connection so the coordinator re-queues the cell.
+				conn.Close()
+				return
+			}
+			if write(message{Kind: kindResult, Result: &res}) != nil {
+				// An undeliverable result (marshal failure, frame over
+				// the bound, dead socket) must not strand the job: a
+				// silently dropped ID would leave the coordinator
+				// waiting forever. Break the connection so its reader
+				// fails and re-queues every in-flight cell.
+				conn.Close()
+				return
+			}
+			w.served.Add(1)
+		}()
+	}
+}
+
+// execute runs one job through the runner its parameters select,
+// measuring wall-clock the same way the cache's local Runner wrapper
+// does.
+func (w *Worker) execute(job Job) JobResult {
+	run := w.runners(job.Rounds, job.Traced)
+	start := time.Now()
+	r := sweep.ExecuteTask(w.ctx, sweep.Task{Index: job.ID, Cell: job.Cell, Seed: job.Seed}, run)
+	return JobResult{
+		ID:          job.ID,
+		Digest:      job.Digest,
+		Outcome:     r.Outcome,
+		Err:         r.Err,
+		WallSeconds: time.Since(start).Seconds(),
+	}
+}

@@ -41,6 +41,35 @@ type Result struct {
 // many goroutines.
 type Runner func(ctx context.Context, cell Cell, seed uint64) (Outcome, error)
 
+// Task is one schedulable unit of a sweep: a cell, its derived seed,
+// and its index in the grid's deterministic expansion. The index is
+// the result key — executors may complete tasks in any order, on any
+// machine, and the output is still keyed by cell identity.
+type Task struct {
+	Index int    `json:"index"`
+	Cell  Cell   `json:"cell"`
+	Seed  uint64 `json:"seed"`
+}
+
+// Executor is the execution strategy of a sweep: it runs every task
+// and delivers each completed Result through emit, keyed by the task's
+// Index. Run hands tasks in claim order (Options.Order already
+// applied) and serializes emit, which tolerates duplicate deliveries
+// of an index (first wins) — so an at-least-once executor, like a
+// distributed coordinator re-queuing a lost worker's cells, needs no
+// dedup of its own. Execute returns once every task has been emitted,
+// or earlier with an error when ctx is canceled or the executor can
+// make no further progress; results emitted before the error are kept.
+//
+// The Runner is the local execution path. LocalExecutor invokes it
+// per task; a remote executor may ignore it and execute cells
+// elsewhere, as long as the produced results are identical — cell
+// outcomes are pure functions of (cell, seed, horizon), so placement
+// can never change output.
+type Executor interface {
+	Execute(ctx context.Context, tasks []Task, run Runner, emit func(index int, r Result)) error
+}
+
 // Progress reports one completed cell to an Options.OnProgress
 // callback.
 type Progress struct {
@@ -53,8 +82,16 @@ type Progress struct {
 
 // Options tune a sweep run.
 type Options struct {
-	// Parallel is the worker-pool size; values < 1 select GOMAXPROCS.
+	// Parallel is the worker-pool size of the default in-process
+	// executor; values < 1 select GOMAXPROCS. Ignored when Executor is
+	// set (an explicit LocalExecutor carries its own pool size).
 	Parallel int
+	// Executor, when non-nil, replaces the default in-process pool as
+	// the execution strategy (e.g. internal/sweep/dist's
+	// RemoteExecutor, which farms cells to worker processes). Nil
+	// selects &LocalExecutor{Parallel: Parallel}. The choice of
+	// executor never affects output, only where and how fast cells run.
+	Executor Executor
 	// OnProgress, when set, is invoked after each cell completes. Calls
 	// are serialized; completion order is nondeterministic under
 	// parallelism (the result *contents* are not).
@@ -84,40 +121,96 @@ func validOrder(order []int, n int) bool {
 	return true
 }
 
-// workers resolves the effective pool size.
-func (o Options) workers() int {
-	if o.Parallel < 1 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return o.Parallel
-}
-
-// Run expands the grid and executes every cell through the runner on a
-// worker pool. It returns a store holding the results of all cells
-// that ran (all of them, unless ctx was canceled — then the partial
-// set — and the context's error is returned alongside).
+// Run expands the grid and executes every cell through the runner on
+// the configured executor (the in-process pool by default). It returns
+// a store holding the results of all cells that ran (all of them,
+// unless ctx was canceled or the executor failed — then the partial
+// set — with the executor's error returned alongside).
 //
 // A panicking cell is isolated: the panic is recovered into that
 // cell's Result.Err and the sweep continues. Results are keyed by the
 // cell's position in the deterministic expansion, so the store's
-// sorted views are identical for any Parallel value.
+// sorted views are identical for any Parallel value — and for any
+// Executor.
 func Run(ctx context.Context, g Grid, run Runner, opts Options) (*ResultStore, error) {
 	cells := g.Cells()
 	if opts.Order != nil && !validOrder(opts.Order, len(cells)) {
 		return NewStore(), fmt.Errorf("sweep: Order is not a permutation of [0, %d)", len(cells))
 	}
-	results := make([]Result, len(cells))
-	executed := make([]bool, len(cells))
-	workers := opts.workers()
-	if workers > len(cells) {
-		workers = len(cells)
+	// Tasks in claim order, each carrying its expansion index (the
+	// result key) and derived seed, so executors need neither the grid
+	// nor the claim permutation.
+	tasks := make([]Task, len(cells))
+	for i := range tasks {
+		j := i
+		if opts.Order != nil {
+			j = opts.Order[i]
+		}
+		tasks[i] = Task{Index: j, Cell: cells[j], Seed: g.CellSeed(cells[j])}
 	}
 
 	var (
+		results  = make([]Result, len(cells))
+		executed = make([]bool, len(cells))
+		done     int
+		mu       sync.Mutex // guards results/executed/done, serializes OnProgress
+	)
+	emit := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i < 0 || i >= len(results) || executed[i] {
+			// Out-of-contract index or a duplicate delivery from an
+			// at-least-once executor: first result wins. Duplicates are
+			// identical by the determinism guarantee anyway.
+			return
+		}
+		results[i] = r
+		executed[i] = true
+		done++
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{Done: done, Total: len(cells), Result: r})
+		}
+	}
+
+	exec := opts.Executor
+	if exec == nil {
+		exec = &LocalExecutor{Parallel: opts.Parallel}
+	}
+	err := exec.Execute(ctx, tasks, run, emit)
+
+	store := NewStore()
+	mu.Lock()
+	for i := range results {
+		if executed[i] {
+			store.Add(results[i])
+		}
+	}
+	mu.Unlock()
+	return store, err
+}
+
+// LocalExecutor is the default execution strategy: a pool of
+// goroutines claiming tasks in order from a shared counter, each cell
+// executed in-process through the runner. It is the extracted form of
+// the engine's original hard-wired pool and produces byte-identical
+// output to it.
+type LocalExecutor struct {
+	// Parallel is the pool size; values < 1 select GOMAXPROCS.
+	Parallel int
+}
+
+// Execute implements Executor.
+func (e *LocalExecutor) Execute(ctx context.Context, tasks []Task, run Runner, emit func(int, Result)) error {
+	workers := e.Parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
 		next int64 = -1
-		done int
 		wg   sync.WaitGroup
-		mu   sync.Mutex // serializes OnProgress and guards done
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -125,45 +218,31 @@ func Run(ctx context.Context, g Grid, run Runner, opts Options) (*ResultStore, e
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(cells) || ctx.Err() != nil {
+				if i >= len(tasks) || ctx.Err() != nil {
 					return
 				}
-				if opts.Order != nil {
-					i = opts.Order[i]
-				}
-				results[i] = runCell(ctx, g, cells[i], run)
-				executed[i] = true
-				if opts.OnProgress != nil {
-					mu.Lock()
-					done++
-					opts.OnProgress(Progress{Done: done, Total: len(cells), Result: results[i]})
-					mu.Unlock()
-				}
+				emit(tasks[i].Index, ExecuteTask(ctx, tasks[i], run))
 			}
 		}()
 	}
 	wg.Wait()
-
-	store := NewStore()
-	for i := range results {
-		if executed[i] {
-			store.Add(results[i])
-		}
-	}
-	return store, ctx.Err()
+	return ctx.Err()
 }
 
-// runCell executes one cell, converting an error return or a panic
-// into the Result's Err field.
-func runCell(ctx context.Context, g Grid, c Cell, run Runner) (r Result) {
-	r = Result{Cell: c, Seed: g.CellSeed(c)}
+// ExecuteTask runs one task through the runner, converting an error
+// return or a panic into the Result's Err field. It is the shared
+// per-cell execution step of every executor — the local pool here and
+// the worker processes of internal/sweep/dist — so panic isolation
+// behaves identically wherever a cell runs.
+func ExecuteTask(ctx context.Context, t Task, run Runner) (r Result) {
+	r = Result{Cell: t.Cell, Seed: t.Seed}
 	defer func() {
 		if p := recover(); p != nil {
 			r.Outcome = Outcome{}
 			r.Err = fmt.Sprintf("panic: %v", p)
 		}
 	}()
-	out, err := run(ctx, c, r.Seed)
+	out, err := run(ctx, t.Cell, t.Seed)
 	if err != nil {
 		r.Err = err.Error()
 		return r

@@ -158,6 +158,80 @@ func TestRunProgress(t *testing.T) {
 	}
 }
 
+// recordingExecutor captures the tasks Run hands it and emits
+// synthetic results, standing in for a remote execution strategy. It
+// delivers every task twice to exercise the engine's at-least-once
+// tolerance.
+type recordingExecutor struct {
+	tasks []Task
+}
+
+func (e *recordingExecutor) Execute(ctx context.Context, tasks []Task, run Runner, emit func(int, Result)) error {
+	e.tasks = append([]Task(nil), tasks...)
+	for _, t := range tasks {
+		r := ExecuteTask(ctx, t, run)
+		emit(t.Index, r)
+		emit(t.Index, r) // duplicate delivery: first must win, second is dropped
+	}
+	return nil
+}
+
+// TestRunUsesCustomExecutor pins the engine inversion: a non-nil
+// Options.Executor replaces the in-process pool, receives tasks in
+// claim order with expansion indices and derived seeds, and duplicate
+// emissions (an at-least-once executor re-delivering) change nothing —
+// bytes match the default executor's run, and progress fires once per
+// cell.
+func TestRunUsesCustomExecutor(t *testing.T) {
+	g := testGrid()
+	rev := make([]int, g.Size())
+	for i := range rev {
+		rev[i] = g.Size() - 1 - i
+	}
+	var progress int
+	rec := &recordingExecutor{}
+	got, err := Run(context.Background(), g, fakeRunner, Options{
+		Executor:   rec,
+		Order:      rev,
+		OnProgress: func(Progress) { progress++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != g.Size() {
+		t.Errorf("progress fired %d times, want %d (duplicate emissions must not count)", progress, g.Size())
+	}
+	if got.Len() != g.Size() {
+		t.Fatalf("stored %d of %d cells", got.Len(), g.Size())
+	}
+
+	cells := g.Cells()
+	if len(rec.tasks) != len(cells) {
+		t.Fatalf("executor saw %d tasks, want %d", len(rec.tasks), len(cells))
+	}
+	for i, task := range rec.tasks {
+		want := cells[rev[i]]
+		if task.Cell != want || task.Index != rev[i] || task.Seed != g.CellSeed(want) {
+			t.Fatalf("task %d = %+v, want cell %v at index %d", i, task, want, rev[i])
+		}
+	}
+
+	ref, err := Run(context.Background(), g, fakeRunner, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bg, br bytes.Buffer
+	if err := got.WriteJSON(&bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteJSON(&br); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bg.Bytes(), br.Bytes()) {
+		t.Error("custom-executor JSON differs from the default pool's")
+	}
+}
+
 // TestRunOrderRejectsNonPermutations pins the Options.Order contract.
 func TestRunOrderRejectsNonPermutations(t *testing.T) {
 	g := testGrid()

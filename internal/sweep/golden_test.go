@@ -2,25 +2,29 @@ package sweep_test
 
 // The golden-file determinism suite: a small reference grid's sorted
 // JSON is committed under testdata/, and serial, parallel, cold-cache,
-// warm-cache (resumed), and cost-scheduled runs must all reproduce it
-// byte for byte. Any engine, store, cache, or scheduler change that
-// perturbs output — float formatting, sort order, seed derivation,
-// cache round-tripping — fails here first. Regenerate deliberately
-// with:
+// warm-cache (resumed), cost-scheduled, and distributed (loopback
+// workers, with and without a mid-grid worker death) runs must all
+// reproduce it byte for byte. Any engine, store, cache, scheduler, or
+// wire-protocol change that perturbs output — float formatting, sort
+// order, seed derivation, cache or JSON round-tripping — fails here
+// first. Regenerate deliberately with:
 //
 //	go test ./internal/sweep/ -run TestGolden -update-golden
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"autofl/internal/rng"
 	"autofl/internal/sweep"
 	"autofl/internal/sweep/cache"
+	"autofl/internal/sweep/dist"
 	"autofl/internal/sweep/schedule"
 )
 
@@ -133,4 +137,47 @@ func TestGoldenDeterminism(t *testing.T) {
 		return schedule.Static().Predict(cells[i].Workload, sig.Rounds)
 	})
 	check("warm-cache-scheduled", runJSON(t, g, warm.Runner(goldenRunner), sweep.Options{Parallel: 8, Order: resumeOrder}))
+
+	// Distributed: a loopback coordinator farming the grid to two
+	// in-process workers must reproduce the same bytes, with every
+	// cell executed remotely — the local runner is a tripwire.
+	noLocal := func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+		t.Errorf("distributed run executed cell %s locally", c.Key())
+		return sweep.Outcome{}, errors.New("local execution in distributed mode")
+	}
+	runners := func(rounds int, traced bool) sweep.Runner { return goldenRunner }
+	w1 := startGoldenWorker(t, runners)
+	w2 := startGoldenWorker(t, runners)
+	re := &dist.RemoteExecutor{Addrs: []string{w1.Addr(), w2.Addr()}, Rounds: sig.Rounds}
+	check("distributed", runJSON(t, g, noLocal, sweep.Options{Executor: re}))
+
+	// Distributed with a worker death mid-grid: the dying worker's
+	// claimed cells are re-queued to the survivor (at-least-once,
+	// idempotent by cell identity) and the output is still identical.
+	var w3 *dist.Worker
+	var executed int32
+	dying := func(rounds int, traced bool) sweep.Runner {
+		return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+			if atomic.AddInt32(&executed, 1) == 4 {
+				go w3.Close()
+			}
+			return goldenRunner(ctx, c, seed)
+		}
+	}
+	w3 = startGoldenWorker(t, dying)
+	reDeath := &dist.RemoteExecutor{Addrs: []string{w1.Addr(), w3.Addr()}, Rounds: sig.Rounds}
+	check("distributed-worker-death", runJSON(t, g, noLocal, sweep.Options{Executor: reDeath}))
+}
+
+// startGoldenWorker runs a loopback dist.Worker for the distributed
+// golden checks.
+func startGoldenWorker(t *testing.T, runners dist.RunnerFor) *dist.Worker {
+	t.Helper()
+	w, err := dist.NewWorker("127.0.0.1:0", 2, runners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve()
+	t.Cleanup(func() { w.Close() })
+	return w
 }

@@ -1,20 +1,25 @@
 // Package sweep is the experiment-orchestration engine of the AutoFL
 // reproduction: it expands a declarative Grid of scenario axes
 // (workloads × settings × data scenarios × environments × policies ×
-// seed replicates) into cells and executes them on a worker pool, with
-// per-cell deterministic seeding, panic isolation, context
-// cancellation, and progress reporting.
+// seed replicates) into cells and executes them through a pluggable
+// Executor, with per-cell deterministic seeding, panic isolation,
+// context cancellation, and progress reporting.
 //
-// The engine is deliberately independent of how a cell is executed: a
-// Runner maps one Cell (plus its derived seed) to an Outcome, so the
-// same machinery drives full paper-scale evaluations (cmd/autofl-sweep
-// via the root package's SweepRunner), the per-figure sweeps of
-// internal/experiments, and reduced-scale benchmarks.
+// The engine is deliberately independent of how a cell is executed,
+// along two axes. A Runner maps one Cell (plus its derived seed) to an
+// Outcome, so the same machinery drives full paper-scale evaluations
+// (cmd/autofl-sweep via the root package's SweepRunner), the
+// per-figure sweeps of internal/experiments, and reduced-scale
+// benchmarks. An Executor decides where and how the expanded tasks
+// run: the default LocalExecutor is an in-process goroutine pool, and
+// internal/sweep/dist farms the same tasks to worker processes over
+// TCP.
 //
 // Determinism is the design center. Every cell's seed is a pure
 // function of the grid seed and the cell's key, so a run parallelized
-// across GOMAXPROCS workers produces byte-identical sorted output to a
-// -parallel=1 run of the same grid.
+// across GOMAXPROCS workers — or scattered across remote machines —
+// produces byte-identical sorted output to a -parallel=1 run of the
+// same grid.
 package sweep
 
 import (

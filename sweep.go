@@ -2,11 +2,13 @@ package autofl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"autofl/internal/sim"
 	"autofl/internal/sweep"
 	"autofl/internal/sweep/cache"
+	"autofl/internal/sweep/dist"
 	"autofl/internal/sweep/schedule"
 )
 
@@ -86,11 +88,13 @@ func SweepRunner(maxRounds int) sweep.Runner {
 	}
 }
 
-// tracedSweepRunner is SweepRunner with per-round trace capture, so
+// TracedSweepRunner is SweepRunner with per-round trace capture, so
 // the cache can serve any shorter horizon from the entry. The trace
-// never reaches sweep output — cache.Runner strips it after
-// recording.
-func tracedSweepRunner(maxRounds int) sweep.Runner {
+// never reaches sweep output — cache.Runner (or the distributed
+// coordinator's commit path) strips it after recording. Sweep worker
+// processes use it to serve traced jobs for cache-backed coordinators
+// (see cmd/autofl-sweep -worker).
+func TracedSweepRunner(maxRounds int) sweep.Runner {
 	return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
 		return sweepCell(ctx, c, seed, maxRounds, true)
 	}
@@ -125,6 +129,22 @@ type SweepOptions struct {
 	// FIFO; only tail latency changes. Ignored when Options.Order is
 	// already set.
 	CostSchedule bool
+	// Workers, when non-empty, farms every cell to autofl-sweep worker
+	// processes at these addresses (see cmd/autofl-sweep -worker)
+	// instead of executing in-process: RunSweepWith installs a
+	// dist.RemoteExecutor and forbids local execution, so a distributed
+	// run either computes every cell remotely (byte-identical to a
+	// local run, by per-cell seed derivation) or surfaces the failure.
+	// Cache and CostSchedule compose unchanged — hits are served
+	// locally by the coordinator, misses ship to workers, and remote
+	// results commit back into the cache by digest. Mutually exclusive
+	// with an explicit Options.Executor.
+	Workers []string
+	// WorkerCells, when non-nil, is filled after the run with the
+	// number of cells each worker completed, keyed by address — the
+	// per-worker audit trail of cmd/autofl-sweep's final stats line.
+	// Only meaningful with Workers.
+	WorkerCells map[string]int
 }
 
 // SweepSignature is the cache signature of a (grid, horizon) pair:
@@ -140,10 +160,11 @@ func SweepSignature(g sweep.Grid, maxRounds int) cache.Signature {
 	return cache.Signature{GridSeed: g.Seed, Rounds: maxRounds}
 }
 
-// RunSweepWith executes the grid with optional result caching and
-// cost-ordered scheduling layered over the engine. Whatever the cache
-// state or claim order, the exported JSON/CSV is byte-identical to a
-// cold serial run of the same grid and seed.
+// RunSweepWith executes the grid with optional result caching,
+// cost-ordered scheduling, and distributed execution layered over the
+// engine. Whatever the cache state, claim order, or cell placement,
+// the exported JSON/CSV is byte-identical to a cold serial run of the
+// same grid and seed.
 func RunSweepWith(ctx context.Context, g sweep.Grid, o SweepOptions) (*sweep.ResultStore, error) {
 	run := SweepRunner(o.MaxRounds)
 	opts := o.Options
@@ -156,12 +177,32 @@ func RunSweepWith(ctx context.Context, g sweep.Grid, o SweepOptions) (*sweep.Res
 				"autofl: cache signature %+v does not match sweep signature %+v", o.Cache.Signature(), want)
 		}
 	}
-	if o.Cache != nil {
+	var remote *dist.RemoteExecutor
+	switch {
+	case len(o.Workers) > 0:
+		if opts.Executor != nil {
+			return sweep.NewStore(), errors.New("autofl: Workers and an explicit Executor are mutually exclusive")
+		}
+		// The coordinator serves cache hits itself and commits remote
+		// results by digest, so the runner must never execute: a guard
+		// turns any local fallback into a loud per-cell error (which
+		// also breaks byte-identity, so tests catch it structurally).
+		remote = &dist.RemoteExecutor{
+			Addrs:  o.Workers,
+			Rounds: SweepSignature(g, o.MaxRounds).Rounds,
+			Traced: o.Cache != nil,
+			Cache:  o.Cache,
+		}
+		opts.Executor = remote
+		run = func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+			return sweep.Outcome{}, errors.New("autofl: distributed sweep attempted local execution")
+		}
+	case o.Cache != nil:
 		// Cached sweeps capture per-round traces so the entries can
 		// serve shorter horizons later; the cache strips the trace
 		// before outcomes reach the store, so output is identical to
 		// the cache-free runner's.
-		run = o.Cache.Runner(tracedSweepRunner(o.MaxRounds))
+		run = o.Cache.Runner(TracedSweepRunner(o.MaxRounds))
 	}
 	if o.CostSchedule && opts.Order == nil {
 		model := schedule.Static()
@@ -179,7 +220,13 @@ func RunSweepWith(ctx context.Context, g sweep.Grid, o SweepOptions) (*sweep.Res
 			return model.Predict(cells[i].Workload, rounds)
 		})
 	}
-	return sweep.Run(ctx, g, run, opts)
+	store, err := sweep.Run(ctx, g, run, opts)
+	if remote != nil && o.WorkerCells != nil {
+		for addr, n := range remote.Counts() {
+			o.WorkerCells[addr] = n
+		}
+	}
+	return store, err
 }
 
 // cacheObservations converts the cache's entries into the scheduler's

@@ -7,6 +7,7 @@ import (
 
 	"autofl/internal/sweep"
 	"autofl/internal/sweep/cache"
+	"autofl/internal/sweep/dist"
 )
 
 // smallGrid is a fast slice of the evaluation grid for end-to-end
@@ -152,6 +153,146 @@ func TestRunSweepWithCacheAndSchedule(t *testing.T) {
 	}
 	if !bytes.Equal(ej.Bytes(), fj.Bytes()) {
 		t.Error("extended cached JSON differs from a cache-free serial run")
+	}
+}
+
+// TestDistributedSweepMatchesSerial is the distributed acceptance
+// criterion end to end on real Scenario runs: a loopback coordinator
+// farming a non-trivial grid slice to two worker processes executes
+// every cell remotely (RunSweepWith's guard runner turns any local
+// execution into an errored cell, which the byte comparison would
+// expose), commits every result into the shared cache by digest, and
+// emits JSON/CSV byte-identical to a cold serial run of the same grid
+// and seed. A warm local rerun against the same cache then serves the
+// remotely-computed entries without executing anything.
+func TestDistributedSweepMatchesSerial(t *testing.T) {
+	g := smallGrid(42)
+	const rounds = 25
+	ctx := context.Background()
+
+	// The cold serial reference, no cache, no workers.
+	serial, err := RunSweep(ctx, g, rounds, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two loopback workers running the real per-cell runners, exactly
+	// as `autofl-sweep -worker` wires them.
+	runners := func(r int, traced bool) sweep.Runner {
+		if traced {
+			return TracedSweepRunner(r)
+		}
+		return SweepRunner(r)
+	}
+	newWorker := func() *dist.Worker {
+		w, err := dist.NewWorker("127.0.0.1:0", 2, runners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		return w
+	}
+	w1, w2 := newWorker(), newWorker()
+
+	dir := t.TempDir()
+	shared, err := cache.Open(dir, SweepSignature(g, rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	distStore, err := RunSweepWith(ctx, g, SweepOptions{
+		MaxRounds:    rounds,
+		Cache:        shared,
+		CostSchedule: true,
+		Workers:      []string{w1.Addr(), w2.Addr()},
+		WorkerCells:  counts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 0 local executions: every cell was a cache miss shipped remotely,
+	// no cell errored (the guard runner errors any local attempt), and
+	// the workers account for the whole grid.
+	if st := shared.Stats(); st.Hits != 0 || st.Misses != g.Size() {
+		t.Errorf("distributed cold stats = %+v, want %d misses", st, g.Size())
+	}
+	for _, r := range distStore.Results() {
+		if r.Err != "" {
+			t.Errorf("cell %s errored: %s", r.Cell.Key(), r.Err)
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != g.Size() {
+		t.Errorf("per-worker counts %v sum to %d, want %d", counts, total, g.Size())
+	}
+
+	// Remote results were committed into the shared cache by digest.
+	if shared.Len() != g.Size() {
+		t.Errorf("cache holds %d of %d remote results", shared.Len(), g.Size())
+	}
+
+	// Byte-identical JSON and CSV to the cold serial run.
+	var sj, dj, sc, dc bytes.Buffer
+	if err := serial.WriteJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if err := distStore.WriteJSON(&dj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj.Bytes(), dj.Bytes()) {
+		t.Error("distributed JSON differs from cold serial JSON")
+	}
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := distStore.WriteCSV(&dc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), dc.Bytes()) {
+		t.Error("distributed CSV differs from cold serial CSV")
+	}
+	if err := shared.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A warm *local* rerun serves the remotely-computed entries: the
+	// cache is placement-agnostic.
+	warm, err := cache.Open(dir, SweepSignature(g, rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	warmStore, err := RunSweepWith(ctx, g, SweepOptions{MaxRounds: rounds, Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Hits != g.Size() || st.Misses != 0 {
+		t.Errorf("warm local rerun executed cells: stats = %+v", st)
+	}
+	var wj bytes.Buffer
+	if err := warmStore.WriteJSON(&wj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj.Bytes(), wj.Bytes()) {
+		t.Error("warm local JSON differs from cold serial JSON after remote commits")
+	}
+}
+
+// TestSweepOptionsRejectsWorkersPlusExecutor pins the mutual-exclusion
+// rule on the redesigned options surface.
+func TestSweepOptionsRejectsWorkersPlusExecutor(t *testing.T) {
+	g := smallGrid(1)
+	_, err := RunSweepWith(context.Background(), g, SweepOptions{
+		Workers: []string{"127.0.0.1:1"},
+		Options: sweep.Options{Executor: &sweep.LocalExecutor{}},
+	})
+	if err == nil {
+		t.Fatal("Workers plus an explicit Executor must be rejected")
 	}
 }
 
