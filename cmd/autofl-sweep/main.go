@@ -49,6 +49,22 @@
 //	autofl-sweep -workers host-a:7070,host-b:7070 \
 //	    -cache-dir sweep.cache -rounds 1000 -out grid.json
 //
+// -workers also accepts @file — one address per line, '#' comments —
+// shared with autofl-sweepd's static-fleet flag.
+//
+// Grids can also be served by a long-running control plane instead of
+// a one-shot coordinator: autofl-sweepd accepts submissions over
+// HTTP, executes them on registered workers, and shares one result
+// cache across clients, so overlapping grids from different clients
+// execute each cell once. -register turns this process into such a
+// daemon's worker (re-dialing with backoff when the connection
+// drops), and -server submits the grid to a daemon, polls it, and
+// fetches the result — byte-identical to a local run:
+//
+//	autofl-sweepd -listen :7170 -registry :7171 -cache-dir svc.cache
+//	autofl-sweep -register host:7171 -name rack1    # on each machine
+//	autofl-sweep -server http://host:7170 -rounds 1000 -out grid.json
+//
 // Every run ends with a stats line on stderr — cells, wall-clock,
 // cache hits (incl. prefix replays)/misses, and per-worker cell
 // counts — so warm and distributed runs are auditable at a glance.
@@ -59,6 +75,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -70,6 +87,7 @@ import (
 	"autofl/internal/sweep"
 	"autofl/internal/sweep/cache"
 	"autofl/internal/sweep/dist"
+	"autofl/internal/sweep/svc"
 )
 
 func main() {
@@ -92,7 +110,10 @@ func main() {
 		cacheGC    = flag.Bool("cache-gc", false, "compact -cache-dir (drop superseded duplicates and mismatched entries) and exit")
 		sched      = flag.String("schedule", "cost", "cell claim order: cost (longest predicted first) or fifo")
 		worker     = flag.String("worker", "", "serve sweep cells to coordinators on this address (e.g. :7070); grid and output flags are ignored")
-		workers    = flag.String("workers", "", "comma-separated worker addresses to farm cells to instead of executing in-process")
+		workers    = flag.String("workers", "", "worker addresses to farm cells to instead of executing in-process: a comma-separated list, or @file with one address per line ('#' comments)")
+		register   = flag.String("register", "", "register with a sweep daemon's worker registry at this address (see autofl-sweepd -registry) and serve its cells; re-dials with backoff on disconnect")
+		name       = flag.String("name", "", "worker label advertised to the daemon's registry (with -register; default: the connection's remote address)")
+		server     = flag.String("server", "", "submit the grid to a sweep daemon at this base URL (e.g. http://host:7170) instead of executing locally")
 	)
 	flag.Parse()
 
@@ -100,11 +121,21 @@ func main() {
 		listAxes()
 		return
 	}
-	if *worker != "" {
-		if *workers != "" {
-			fatalf("-worker and -workers are mutually exclusive (a process is a cell server or a coordinator, not both)")
+	modes := 0
+	for _, m := range []string{*worker, *register, *server} {
+		if m != "" {
+			modes++
 		}
+	}
+	if modes > 1 || (modes == 1 && *server == "" && *workers != "") {
+		fatalf("-worker, -register, and -server are mutually exclusive (and none mixes with -workers)")
+	}
+	if *worker != "" {
 		runWorker(*worker, *parallel)
+		return
+	}
+	if *register != "" {
+		runRegisterWorker(*register, *name, *parallel)
 		return
 	}
 	if *cacheGC {
@@ -155,20 +186,28 @@ func main() {
 		stop()
 	}()
 
+	if *server != "" {
+		if *cacheDir != "" {
+			fatalf("-cache-dir is the daemon's concern in -server mode (see autofl-sweepd -cache-dir)")
+		}
+		runClient(ctx, *server, grid, *rounds, *format, w, *progress)
+		return
+	}
+
 	runOpts := autofl.SweepOptions{
 		MaxRounds:    *rounds,
 		CostSchedule: *sched == "cost",
 	}
 	runOpts.Parallel = *parallel
 	if *workers != "" {
-		for _, a := range strings.Split(*workers, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				runOpts.Workers = append(runOpts.Workers, a)
-			}
+		addrs, err := dist.ParseWorkerList(*workers)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		if len(runOpts.Workers) == 0 {
+		if len(addrs) == 0 {
 			fatalf("-workers selected no addresses")
 		}
+		runOpts.Workers = addrs
 		runOpts.WorkerCells = make(map[string]int)
 	}
 	if *progress {
@@ -258,12 +297,7 @@ func main() {
 // coordinators — run through the traced runner so remote results can
 // serve shorter horizons later.
 func runWorker(addr string, parallel int) {
-	w, err := dist.NewWorker(addr, parallel, func(rounds int, traced bool) sweep.Runner {
-		if traced {
-			return autofl.TracedSweepRunner(rounds)
-		}
-		return autofl.SweepRunner(rounds)
-	})
+	w, err := dist.NewWorker(addr, parallel, autofl.SweepRunners)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -280,6 +314,104 @@ func runWorker(addr string, parallel int) {
 		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "autofl-sweep: worker served %d cells\n", w.Served())
+}
+
+// runRegisterWorker turns the process into a register-mode cell
+// server: it dials the daemon's worker registry and serves its cells,
+// re-dialing with backoff whenever the connection drops — joining a
+// running sweep picks up its queued cells — until interrupted.
+func runRegisterWorker(addr, name string, parallel int) {
+	w, err := dist.NewDialWorker(name, parallel, autofl.SweepRunners)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	label := name
+	if label == "" {
+		label = "worker"
+	}
+	fmt.Fprintf(os.Stderr, "autofl-sweep: %s registering with %s\n", label, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // a second signal force-quits instead of being swallowed
+		w.Close()
+	}()
+	err = w.Register(ctx, addr, dist.RegisterOptions{
+		OnState: func(state string, serr error) {
+			if state == "backoff" {
+				fmt.Fprintf(os.Stderr, "autofl-sweep: %s: %v (re-dialing)\n", label, serr)
+			}
+		},
+	})
+	if err != nil && !errors.Is(err, dist.ErrWorkerClosed) && !errors.Is(err, context.Canceled) {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "autofl-sweep: worker served %d cells\n", w.Served())
+}
+
+// runClient submits the grid to a sweep daemon, polls its progress,
+// and writes the fetched result — byte-identical to a local run of the
+// same grid, whoever executed the cells. Interrupting the wait cancels
+// the job server-side before exiting.
+func runClient(ctx context.Context, baseURL string, grid sweep.Grid, rounds int, format string, w io.Writer, progress bool) {
+	client := &svc.Client{BaseURL: baseURL}
+	start := time.Now()
+	st, err := client.Submit(ctx, svc.JobSpec{Grid: grid, Rounds: rounds})
+	if err != nil {
+		fatalf("submit: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "autofl-sweep: submitted %s (%d cells) to %s\n", st.ID, st.Total, baseURL)
+
+	var onUpdate func(svc.JobStatus)
+	if progress {
+		onUpdate = func(s svc.JobStatus) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", s.Done, s.Total, s.ID, s.State)
+		}
+	}
+	final, err := client.Wait(ctx, st.ID, 500*time.Millisecond, onUpdate)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The user interrupted the wait; stop the job rather than
+			// leaving it running unattended.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, cerr := client.Cancel(cancelCtx, st.ID); cerr != nil {
+				fatalf("interrupted; cancel failed: %v", cerr)
+			}
+			fatalf("interrupted; canceled %s", st.ID)
+		}
+		fatalf("waiting for %s: %v", st.ID, err)
+	}
+	// The client-side stats line mirrors the local coordinator's, fed
+	// from the daemon's status instead of local handles.
+	fmt.Fprintf(os.Stderr, "autofl-sweep: %d cells in %s | cache: %d hits (%d prefix), %d misses",
+		final.Done, time.Since(start).Round(time.Millisecond),
+		final.CacheHits, final.CachePrefixHits, final.CacheMisses)
+	if len(final.Workers) > 0 {
+		labels := make([]string, 0, len(final.Workers))
+		for l := range final.Workers {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		fmt.Fprintf(os.Stderr, " | workers:")
+		for _, l := range labels {
+			fmt.Fprintf(os.Stderr, " %s=%d", l, final.Workers[l])
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	if final.State != svc.StateDone {
+		fatalf("job %s %s: %s", final.ID, final.State, final.Error)
+	}
+
+	raw, err := client.Result(ctx, st.ID, format)
+	if err != nil {
+		fatalf("fetching result: %v", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		fatalf("writing %s: %v", format, err)
+	}
 }
 
 // pickAxis resolves a comma-separated flag against the axis's known

@@ -92,6 +92,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	closed  bool
+	pending map[net.Conn]struct{}
 	clients map[int]*clientConn
 	history []RoundRecord
 	params  []float64
@@ -122,6 +123,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{
 		cfg:      cfg,
 		listener: ln,
+		pending:  make(map[net.Conn]struct{}),
 		clients:  make(map[int]*clientConn),
 		params:   append([]float64(nil), cfg.InitialParams...),
 	}, nil
@@ -132,10 +134,11 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 
 // Close shuts the server down: the listener stops accepting (waking a
 // Serve blocked in its registration loop, which then returns
-// ErrServerClosed) and every registered client connection is closed,
-// unblocking any in-flight round I/O. Close is idempotent and safe to
-// call from any goroutine — it is the cancellation path the original
-// accept loop lacked.
+// ErrServerClosed) and every connection — registered clients and
+// accepted-but-unregistered ones still mid-hello — is closed,
+// unblocking any in-flight I/O. Close is idempotent and safe to call
+// from any goroutine — it is the cancellation path the original accept
+// loop lacked.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -143,17 +146,37 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	conns := make([]*clientConn, 0, len(s.clients))
+	conns := make([]net.Conn, 0, len(s.clients)+len(s.pending))
 	for _, cc := range s.clients {
-		conns = append(conns, cc)
+		conns = append(conns, cc.conn)
+	}
+	for c := range s.pending {
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 
 	err := s.listener.Close()
-	for _, cc := range conns {
-		cc.conn.Close()
+	for _, c := range conns {
+		c.Close()
 	}
 	return err
+}
+
+// closeClients closes every registered client connection. Double
+// closes are harmless, so this can run from both Close and Serve's
+// exit path: whichever way Serve returns — completion, shutdown, or a
+// protocol error like a duplicate device id — no peer is left blocked
+// on a read against a half-torn-down server.
+func (s *Server) closeClients() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.clients))
+	for _, cc := range s.clients {
+		conns = append(conns, cc.conn)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // isClosed reports whether Close has been called.
@@ -187,6 +210,11 @@ func (s *Server) Params() []float64 {
 // ErrServerClosed.
 func (s *Server) Serve() error {
 	defer s.listener.Close()
+	// Any exit — normal completion, shutdown, or an error return after
+	// some clients already registered (bad hello, duplicate device id,
+	// a failed assign) — must release the registered connections, or
+	// the peer goroutines blocked reading them leak.
+	defer s.closeClients()
 
 	// Registration phase: accept until all devices check in.
 	for s.clientCount() < s.cfg.Clients {
@@ -197,22 +225,36 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("flnet: accept: %w", err)
 		}
-		cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-		var hello message
-		if err := cc.dec.Decode(&hello); err != nil || hello.Kind != kindHello {
-			conn.Close()
-			if s.isClosed() {
-				return ErrServerClosed
-			}
-			return fmt.Errorf("flnet: bad hello: %v", err)
-		}
-		cc.id = hello.DeviceID
+		// Track the connection before the hello read so a concurrent
+		// Close can unblock a Serve stuck decoding a silent client's
+		// hello (the conn is otherwise invisible to Close until it is
+		// registered).
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return ErrServerClosed
 		}
+		s.pending[conn] = struct{}{}
+		s.mu.Unlock()
+
+		cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		var hello message
+		err = cc.dec.Decode(&hello)
+
+		s.mu.Lock()
+		delete(s.pending, conn)
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		if err != nil || hello.Kind != kindHello {
+			s.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("flnet: bad hello: %v", err)
+		}
+		cc.id = hello.DeviceID
 		if _, dup := s.clients[cc.id]; dup {
 			s.mu.Unlock()
 			conn.Close()

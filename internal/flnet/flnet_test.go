@@ -1,7 +1,11 @@
 package flnet
 
 import (
+	"encoding/gob"
 	"errors"
+	"net"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -229,6 +233,186 @@ func TestClientCountsParticipation(t *testing.T) {
 	// Participation is verified indirectly through the history checks;
 	// this test pins the Serve/Run handshake lifecycle (no hangs, no
 	// leaked goroutines by the time startCluster returns).
+}
+
+// waitFor polls cond until it holds or the deadline passes — the
+// bounded alternative to fixed sleeps for cross-goroutine state.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseUnblocksPendingHello pins the second shutdown gap: a client
+// that connects but never speaks parks Serve inside the hello decode,
+// where the connection used to be invisible to Close (it is not yet in
+// the client map). Close must now reach it through the pending set and
+// make Serve return ErrServerClosed.
+func TestCloseUnblocksPendingHello(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: 1, Rounds: 1, K: 1,
+		InitialParams: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	conn, err := net.Dial("tcp", srv.Addr()) // silent: hello never sent
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.pending) == 1
+	}, "the silent connection to reach the hello decode")
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve still blocked in the hello decode after Close")
+	}
+}
+
+// TestServeErrorClosesRegisteredClients pins the error-return leak: a
+// protocol failure mid-registration (here a duplicate device id) made
+// Serve return while earlier clients stayed connected, leaving their
+// goroutines blocked on reads forever. Serve's exit path must close
+// every registered connection.
+func TestServeErrorClosesRegisteredClients(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: 2, Rounds: 1, K: 1,
+		InitialParams: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	// First client registers, then blocks waiting for an assignment
+	// that will never arrive.
+	a, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := gob.NewEncoder(a).Encode(message{Kind: kindHello, DeviceID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	aDone := make(chan error, 1)
+	go func() {
+		var m message
+		aDone <- gob.NewDecoder(a).Decode(&m)
+	}()
+	waitFor(t, 5*time.Second, func() bool { return srv.clientCount() == 1 },
+		"the first client to register")
+
+	// Second client reuses the id, poisoning the registration.
+	b, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := gob.NewEncoder(b).Encode(message{Kind: kindHello, DeviceID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveDone:
+		if err == nil || !strings.Contains(err.Error(), "duplicate device id") {
+			t.Errorf("Serve returned %v, want a duplicate-device-id error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return on the duplicate hello")
+	}
+	select {
+	case <-aDone:
+		// The blocked read was released (with an error — no done
+		// message was ever sent); the value itself does not matter.
+	case <-time.After(5 * time.Second):
+		t.Fatal("registered client still blocked after Serve's error return")
+	}
+}
+
+// TestServerLifecycleNoGoroutineLeaks runs full serve/close cycles —
+// completed clusters and aborted registrations alike — and pins the
+// goroutine count: long-lived processes (tests, future daemons) must
+// be able to cycle servers without accreting blocked readers.
+func TestServerLifecycleNoGoroutineLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	train := func(p []float64, e, b int, lr float64) ([]float64, int, error) {
+		return p, 1, nil
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		// A cluster that completes normally.
+		srv, err := NewServer(ServerConfig{
+			Addr: "127.0.0.1:0", Clients: 3, Rounds: 2, K: 2,
+			InitialParams: []float64{1, 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for id := 0; id < 3; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c := &Client{DeviceID: id, Train: train}
+				if err := c.Run(srv.Addr()); err != nil {
+					t.Errorf("cycle %d client %d: %v", cycle, id, err)
+				}
+			}(id)
+		}
+		if err := srv.Serve(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		wg.Wait()
+		srv.Close()
+
+		// A registration aborted by Close with a silent client pending.
+		srv2, err := NewServer(ServerConfig{
+			Addr: "127.0.0.1:0", Clients: 2, Rounds: 1, K: 1,
+			InitialParams: []float64{1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv2.Serve() }()
+		conn, err := net.Dial("tcp", srv2.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, 5*time.Second, func() bool {
+			srv2.mu.Lock()
+			defer srv2.mu.Unlock()
+			return len(srv2.pending) == 1
+		}, "the silent connection to be tracked")
+		srv2.Close()
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("cycle %d aborted serve returned %v", cycle, err)
+		}
+		conn.Close()
+	}
+	// Allow released goroutines to unwind before measuring.
+	waitFor(t, 5*time.Second, func() bool {
+		return runtime.NumGoroutine() <= baseline+2
+	}, "goroutines to drain back to the baseline")
 }
 
 func TestNNParamsInteropWithWire(t *testing.T) {

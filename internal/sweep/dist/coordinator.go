@@ -13,7 +13,7 @@ import (
 	"autofl/internal/sweep/cache"
 )
 
-// RemoteExecutor is the distributed execution strategy: a
+// RemoteExecutor is the one-shot distributed execution strategy: a
 // sweep.Executor that dials Worker processes and farms tasks to them,
 // pipelining up to each worker's advertised capacity. Delivery is
 // at-least-once — a lost worker's in-flight cells are re-queued to the
@@ -29,7 +29,9 @@ import (
 // never dials at all. The same directory can back local and
 // distributed sweeps interchangeably.
 //
-// A RemoteExecutor is single-flight: one Execute call at a time.
+// A RemoteExecutor is single-flight: one Execute call at a time. For a
+// long-running control plane serving many grids over a dynamic worker
+// fleet, see PoolExecutor.
 type RemoteExecutor struct {
 	// Addrs are the worker addresses to dial. At least one must accept
 	// and complete the version handshake, or Execute fails.
@@ -50,29 +52,116 @@ type RemoteExecutor struct {
 	// (default 10s).
 	DialTimeout time.Duration
 
-	mu     sync.Mutex
-	counts map[string]int
+	counts workerCounts
+}
+
+// workerCounts is the per-worker completed-cell audit trail shared by
+// both executors.
+type workerCounts struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (c *workerCounts) reset() {
+	c.mu.Lock()
+	c.m = make(map[string]int)
+	c.mu.Unlock()
+}
+
+func (c *workerCounts) add(label string) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]int)
+	}
+	c.m[label]++
+	c.mu.Unlock()
+}
+
+func (c *workerCounts) snapshot() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.m))
+	for a, n := range c.m {
+		out[a] = n
+	}
+	return out
 }
 
 // Counts reports completed cells per worker address for the most
 // recent Execute call — the audit trail cmd/autofl-sweep prints in its
 // final stats line. Cells served from the cache are not counted here
 // (they appear in the cache's own Stats).
-func (e *RemoteExecutor) Counts() map[string]int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make(map[string]int, len(e.counts))
-	for a, n := range e.counts {
-		out[a] = n
-	}
-	return out
-}
+func (e *RemoteExecutor) Counts() map[string]int { return e.counts.snapshot() }
 
 func (e *RemoteExecutor) dialTimeout() time.Duration {
 	if e.DialTimeout > 0 {
 		return e.DialTimeout
 	}
 	return 10 * time.Second
+}
+
+// servePass serves every task the cache can witness directly through
+// emit and returns the rest — the shared first step of both executors,
+// which is what makes a fully cached grid never dial (RemoteExecutor)
+// and overlapping grids from concurrent control-plane clients execute
+// only their non-overlapping cells (PoolExecutor).
+func servePass(c *cache.Cache, tasks []sweep.Task, emit func(int, sweep.Result)) []sweep.Task {
+	if c == nil {
+		return tasks
+	}
+	pending := make([]sweep.Task, 0, len(tasks))
+	for _, t := range tasks {
+		if out, ok := c.Serve(t.Cell, t.Seed); ok {
+			emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out})
+			continue
+		}
+		pending = append(pending, t)
+	}
+	return pending
+}
+
+// stampJob renders one task into its wire form under the executor's
+// horizon/trace/cache configuration.
+func stampJob(t sweep.Task, rounds int, traced bool, c *cache.Cache) Job {
+	j := Job{ID: t.Index, Cell: t.Cell, Seed: t.Seed, Rounds: rounds, Traced: traced}
+	if c != nil {
+		j.Digest = c.Signature().CellDigest(t.Cell)
+	}
+	return j
+}
+
+// commitResult commits one remote result (cache first, by digest; then
+// the engine's emit). The trace payload, if any, stops at the cache —
+// exactly like the local cache.Runner path, so distributed output is
+// byte-identical to local.
+func commitResult(c *cache.Cache, t sweep.Task, res JobResult, emit func(int, sweep.Result)) {
+	out := res.Outcome
+	if c != nil && res.Err == "" {
+		_ = c.Put(sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out}, res.WallSeconds)
+	}
+	out.Trace = nil
+	emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out, Err: res.Err})
+}
+
+// taskQueue builds the shared claim queue and completion plumbing for
+// a set of pending tasks: the queue holds every task not yet claimed
+// by a lease (its capacity is the invariant that makes re-queuing
+// never block), and done closes when the last task is delivered.
+func taskQueue(pending []sweep.Task) (queue chan sweep.Task, done chan struct{}, finish func(), remaining *int64) {
+	queue = make(chan sweep.Task, len(pending))
+	for _, t := range pending {
+		queue <- t
+	}
+	remaining = new(int64)
+	*remaining = int64(len(pending))
+	done = make(chan struct{})
+	var closeOnce sync.Once
+	finish = func() {
+		if atomic.AddInt64(remaining, -1) == 0 {
+			closeOnce.Do(func() { close(done) })
+		}
+	}
+	return queue, done, finish, remaining
 }
 
 // Execute implements sweep.Executor. The local Runner is deliberately
@@ -83,43 +172,13 @@ func (e *RemoteExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ swee
 	if len(e.Addrs) == 0 {
 		return errors.New("dist: no worker addresses")
 	}
-	e.mu.Lock()
-	e.counts = make(map[string]int, len(e.Addrs))
-	e.mu.Unlock()
+	e.counts.reset()
 
-	// Cache pass: serve what the cache can witness, queue the rest.
-	pending := make([]sweep.Task, 0, len(tasks))
-	for _, t := range tasks {
-		if e.Cache != nil {
-			if out, ok := e.Cache.Serve(t.Cell, t.Seed); ok {
-				emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out})
-				continue
-			}
-		}
-		pending = append(pending, t)
-	}
+	pending := servePass(e.Cache, tasks, emit)
 	if len(pending) == 0 {
 		return nil // fully served; never dial
 	}
-
-	// The queue holds every task not yet claimed by a connection. Its
-	// capacity is an invariant, not a guess: a task is always either
-	// queued or in exactly one worker's in-flight set, so re-queuing a
-	// dead worker's claims can never block.
-	queue := make(chan sweep.Task, len(pending))
-	for _, t := range pending {
-		queue <- t
-	}
-	var (
-		remaining = int64(len(pending))
-		done      = make(chan struct{}) // closed when remaining hits 0
-		closeOnce sync.Once
-	)
-	finish := func() {
-		if atomic.AddInt64(&remaining, -1) == 0 {
-			closeOnce.Do(func() { close(done) })
-		}
-	}
+	queue, done, finish, remaining := taskQueue(pending)
 
 	errs := make([]error, len(e.Addrs))
 	var wg sync.WaitGroup
@@ -144,142 +203,134 @@ func (e *RemoteExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ swee
 	}
 	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("dist: %d cells unfinished, all workers gone (first failure: %w)", atomic.LoadInt64(&remaining), err)
+			return fmt.Errorf("dist: %d cells unfinished, all workers gone (first failure: %w)", atomic.LoadInt64(remaining), err)
 		}
 	}
-	return fmt.Errorf("dist: %d cells unfinished, all workers gone", atomic.LoadInt64(&remaining))
+	return fmt.Errorf("dist: %d cells unfinished, all workers gone", atomic.LoadInt64(remaining))
 }
 
-// runWorker drives one worker connection: dial, version handshake,
-// then a claim/submit loop pipelining up to the advertised capacity,
-// with a reader goroutine delivering results as they stream back. On
-// any connection failure the worker's in-flight tasks go back on the
-// queue and the error is returned; the sweep survives as long as one
-// worker does.
+// runWorker drives one dialed worker connection: dial, handshake into
+// a Link, then the shared driveLink lease. On any connection failure
+// the worker's in-flight tasks go back on the queue and the error is
+// returned; the sweep survives as long as one worker does.
 func (e *RemoteExecutor) runWorker(ctx context.Context, addr string, queue chan sweep.Task, done <-chan struct{}, emit func(int, sweep.Result), finish func()) error {
 	d := net.Dialer{Timeout: e.dialTimeout()}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return fmt.Errorf("dist: dial %s: %w", addr, err)
 	}
-	defer conn.Close()
-
-	// Banner under a deadline so an endpoint that is not a worker (or
-	// speaks another version) cannot hang the sweep.
-	conn.SetReadDeadline(time.Now().Add(e.dialTimeout()))
-	m, err := readMessage(conn)
+	l, err := NewLink(conn, e.dialTimeout())
 	if err != nil {
-		return fmt.Errorf("dist: %s: reading hello: %w", addr, err)
+		conn.Close()
+		return fmt.Errorf("dist: %s: %w", addr, err)
 	}
-	if m.Kind != kindHello || m.Hello == nil {
-		return fmt.Errorf("dist: %s: expected hello, got %q", addr, m.Kind)
+	defer l.Close()
+	err = driveLink(ctx, l, queue, done,
+		func(t sweep.Task) Job { return stampJob(t, e.Rounds, e.Traced, e.Cache) },
+		func(t sweep.Task, res JobResult) {
+			commitResult(e.Cache, t, res, emit)
+			e.counts.add(addr)
+		},
+		finish)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("dist: %s: %w", addr, err)
 	}
-	if m.Hello.Version != ProtocolVersion {
-		return fmt.Errorf("dist: %s: protocol version %d, want %d", addr, m.Hello.Version, ProtocolVersion)
-	}
-	capacity := m.Hello.Capacity
-	if capacity < 1 {
-		capacity = 1
-	}
-	conn.SetReadDeadline(time.Time{})
+	return err
+}
 
-	var (
-		imu      sync.Mutex
-		inflight = make(map[int]sweep.Task, capacity)
-		slots    = make(chan struct{}, capacity)
-	)
-	// requeue returns every undelivered claim to the shared queue for
-	// the surviving workers (at-least-once delivery).
-	requeue := func() {
-		imu.Lock()
-		for _, t := range inflight {
-			queue <- t
-		}
-		inflight = make(map[int]sweep.Task)
-		imu.Unlock()
-	}
+// Source supplies worker links to a PoolExecutor. Acquire blocks until
+// a worker is available (a newly registered worker joining mid-sweep
+// satisfies a waiting Acquire, which is how late joiners pick up
+// queued cells) or ctx is done. A link handed out by Acquire is leased
+// exclusively until returned: Release puts a healthy link back in the
+// pool, Evict discards one whose connection died. The control plane's
+// worker registry is the canonical implementation.
+type Source interface {
+	Acquire(ctx context.Context) (*Link, error)
+	Release(l *Link)
+	Evict(l *Link, err error)
+}
 
-	readerErr := make(chan error, 1)
+// PoolExecutor is the control-plane execution strategy: a
+// sweep.Executor over a dynamic pool of established worker links.
+// Unlike RemoteExecutor — which dials a fixed address list and fails
+// when every worker is gone — a PoolExecutor acquires workers as the
+// Source produces them, lets workers join mid-sweep to claim queued
+// cells, re-queues a dead worker's in-flight cells, and simply waits
+// (until ctx cancels) when no worker is currently available: in a
+// long-running service, worker absence is a transient condition, not
+// a sweep failure.
+//
+// Rounds/Traced/Cache behave exactly as on RemoteExecutor. Safe for
+// one Execute call at a time.
+type PoolExecutor struct {
+	Source Source
+	Rounds int
+	Traced bool
+	Cache  *cache.Cache
+
+	counts workerCounts
+}
+
+// Counts reports completed cells per worker label for the most recent
+// Execute call.
+func (e *PoolExecutor) Counts() map[string]int { return e.counts.snapshot() }
+
+// Execute implements sweep.Executor (the local Runner is ignored, as
+// on RemoteExecutor).
+func (e *PoolExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ sweep.Runner, emit func(int, sweep.Result)) error {
+	if e.Source == nil {
+		return errors.New("dist: pool executor needs a Source")
+	}
+	e.counts.reset()
+
+	pending := servePass(e.Cache, tasks, emit)
+	if len(pending) == 0 {
+		return nil
+	}
+	queue, done, finish, _ := taskQueue(pending)
+
+	// The acquirer keeps leasing workers while the sweep runs; each
+	// lease drives the shared claim loop on its own goroutine. Extra
+	// workers beyond the remaining cells just block on the empty queue
+	// until done closes — cheap, and it keeps join racing simple.
+	acqCtx, stopAcq := context.WithCancel(ctx)
+	defer stopAcq()
+	var leases sync.WaitGroup
+	acqDone := make(chan struct{})
 	go func() {
+		defer close(acqDone)
 		for {
-			m, err := readMessage(conn)
+			l, err := e.Source.Acquire(acqCtx)
 			if err != nil {
-				readerErr <- err
 				return
 			}
-			if m.Kind != kindResult || m.Result == nil {
-				readerErr <- fmt.Errorf("dist: %s: unexpected %q frame", addr, m.Kind)
-				return
-			}
-			res := *m.Result
-			imu.Lock()
-			t, ok := inflight[res.ID]
-			delete(inflight, res.ID)
-			imu.Unlock()
-			if !ok {
-				continue // not ours (already re-queued elsewhere): drop
-			}
-			e.deliver(addr, t, res, emit)
-			<-slots
-			finish()
+			leases.Add(1)
+			go func(l *Link) {
+				defer leases.Done()
+				err := driveLink(acqCtx, l, queue, done,
+					func(t sweep.Task) Job { return stampJob(t, e.Rounds, e.Traced, e.Cache) },
+					func(t sweep.Task, res JobResult) {
+						commitResult(e.Cache, t, res, emit)
+						e.counts.add(l.Label())
+					},
+					finish)
+				if err == nil || errors.Is(err, context.Canceled) {
+					// Sweep finished or was canceled with the link intact.
+					e.Source.Release(l)
+					return
+				}
+				e.Source.Evict(l, err)
+			}(l)
 		}
 	}()
 
-	for {
-		// A free pipeline slot first, then a task to fill it.
-		select {
-		case <-done:
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
-		case err := <-readerErr:
-			requeue()
-			return fmt.Errorf("dist: %s: %w", addr, err)
-		case slots <- struct{}{}:
-		}
-		var t sweep.Task
-		select {
-		case <-done:
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
-		case err := <-readerErr:
-			requeue()
-			return fmt.Errorf("dist: %s: %w", addr, err)
-		case t = <-queue:
-		}
-		imu.Lock()
-		inflight[t.Index] = t
-		imu.Unlock()
-		job := e.jobFor(t)
-		if err := writeMessage(conn, message{Kind: kindJob, Job: &job}); err != nil {
-			requeue()
-			return err
-		}
+	select {
+	case <-done:
+	case <-ctx.Done():
 	}
-}
-
-// jobFor stamps one task into its wire form.
-func (e *RemoteExecutor) jobFor(t sweep.Task) Job {
-	j := Job{ID: t.Index, Cell: t.Cell, Seed: t.Seed, Rounds: e.Rounds, Traced: e.Traced}
-	if e.Cache != nil {
-		j.Digest = e.Cache.Signature().CellDigest(t.Cell)
-	}
-	return j
-}
-
-// deliver commits one remote result (cache first, by digest; then the
-// engine's emit) and charges it to the worker's count. The trace
-// payload, if any, stops at the cache — exactly like the local
-// cache.Runner path, so distributed output is byte-identical to local.
-func (e *RemoteExecutor) deliver(addr string, t sweep.Task, res JobResult, emit func(int, sweep.Result)) {
-	out := res.Outcome
-	if e.Cache != nil && res.Err == "" {
-		_ = e.Cache.Put(sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out}, res.WallSeconds)
-	}
-	out.Trace = nil
-	emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out, Err: res.Err})
-	e.mu.Lock()
-	e.counts[addr]++
-	e.mu.Unlock()
+	stopAcq()
+	<-acqDone // no further leases.Add after this
+	leases.Wait()
+	return ctx.Err()
 }

@@ -6,7 +6,11 @@ import (
 	"errors"
 	"math"
 	"net"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -368,4 +372,348 @@ func TestWorkerCloseUnblocksServe(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
 	}
+}
+
+// ---- control-plane primitives (PR 6) ----
+
+// chanSource is a minimal Source: a buffered pool of links, eviction
+// recorded for assertions.
+type chanSource struct {
+	pool    chan *Link
+	mu      sync.Mutex
+	evicted []error
+}
+
+func newChanSource() *chanSource { return &chanSource{pool: make(chan *Link, 16)} }
+
+func (s *chanSource) Acquire(ctx context.Context) (*Link, error) {
+	select {
+	case l := <-s.pool:
+		return l, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+func (s *chanSource) Release(l *Link) { s.pool <- l }
+func (s *chanSource) Evict(l *Link, err error) {
+	l.Close()
+	s.mu.Lock()
+	s.evicted = append(s.evicted, err)
+	s.mu.Unlock()
+}
+func (s *chanSource) evictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.evicted)
+}
+
+// acceptLink is the daemon side of one worker registration: accept the
+// dial-in, handshake, return the established link.
+func acceptLink(t *testing.T, ln net.Listener) *Link {
+	t.Helper()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	l, err := NewLink(conn, 5*time.Second)
+	if err != nil {
+		conn.Close()
+		t.Fatalf("handshake: %v", err)
+	}
+	return l
+}
+
+// registerWorker spins up a dial-out worker registering against ln's
+// address and hands back the accepted link.
+func registerWorker(t *testing.T, ln net.Listener, name string, parallel int, runners RunnerFor) (*Worker, *Link) {
+	t.Helper()
+	w, err := NewDialWorker(name, parallel, runners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Register(context.Background(), ln.Addr().String(), RegisterOptions{
+		MinBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	})
+	t.Cleanup(func() { w.Close() })
+	return w, acceptLink(t, ln)
+}
+
+func TestParseWorkerList(t *testing.T) {
+	got, err := ParseWorkerList(" a:1, ,b:2 ")
+	if err != nil || len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("inline list = %v, %v", got, err)
+	}
+	f := filepath.Join(t.TempDir(), "fleet")
+	body := "# fleet file\nhost-a:7070\n\nhost-b:7070  # rack 2\n"
+	if err := os.WriteFile(f, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseWorkerList("@" + f)
+	if err != nil || len(got) != 2 || got[0] != "host-a:7070" || got[1] != "host-b:7070" {
+		t.Fatalf("file list = %v, %v", got, err)
+	}
+	if _, err := ParseWorkerList("@" + f + ".missing"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestRegisteredWorkerSweep is the registration-direction counterpart
+// of TestLoopbackDistributedSweep: workers dial in, the control plane
+// accepts them into a pool, and a PoolExecutor sweep over the pool is
+// byte-identical to a serial local run.
+func TestRegisteredWorkerSweep(t *testing.T) {
+	g := testGrid()
+	serial, err := sweep.Run(context.Background(), g, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	src := newChanSource()
+	_, l1 := registerWorker(t, ln, "w1", 2, fakeRunners)
+	_, l2 := registerWorker(t, ln, "w2", 2, fakeRunners)
+	if l1.Name() != "w1" || l2.Name() != "w2" {
+		t.Fatalf("advertised names = %q, %q", l1.Name(), l2.Name())
+	}
+	src.pool <- l1
+	src.pool <- l2
+
+	pe := &PoolExecutor{Source: src, Rounds: 100}
+	store, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: pe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(storeJSON(t, serial), storeJSON(t, store)) {
+		t.Error("registered-worker sweep JSON differs from serial")
+	}
+	counts := pe.Counts()
+	if counts["w1"]+counts["w2"] != g.Size() {
+		t.Errorf("counts %v do not sum to %d", counts, g.Size())
+	}
+	if len(src.pool) != 2 {
+		t.Errorf("links not released back to the pool: %d", len(src.pool))
+	}
+	if src.evictions() != 0 {
+		t.Errorf("healthy links evicted: %v", src.evicted)
+	}
+}
+
+// TestPoolExecutorMidSweepJoin starts the sweep with an empty pool —
+// it must wait, not fail — and registers a worker afterwards, which
+// picks up the queued cells.
+func TestPoolExecutorMidSweepJoin(t *testing.T) {
+	g := testGrid()
+	serial, err := sweep.Run(context.Background(), g, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	src := newChanSource()
+	pe := &PoolExecutor{Source: src, Rounds: 100}
+
+	type res struct {
+		store *sweep.ResultStore
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: pe})
+		ch <- res{s, err}
+	}()
+	// Late join: the sweep is already executing (blocked on Acquire).
+	_, l := registerWorker(t, ln, "late", 2, fakeRunners)
+	src.pool <- l
+
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if !bytes.Equal(storeJSON(t, serial), storeJSON(t, r.store)) {
+			t.Error("mid-sweep-join JSON differs from serial")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not complete after mid-sweep join")
+	}
+}
+
+// TestPoolExecutorWorkerDeathRequeues kills one of two registered
+// workers mid-grid: its in-flight cells re-queue to the survivor and
+// the dead link is evicted, not released.
+func TestPoolExecutorWorkerDeathRequeues(t *testing.T) {
+	g := testGrid()
+	serial, err := sweep.Run(context.Background(), g, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	src := newChanSource()
+	_, l1 := registerWorker(t, ln, "survivor", 2, fakeRunners)
+	var dying *Worker
+	var executed int32
+	dyingRunners := func(rounds int, traced bool) sweep.Runner {
+		return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+			if atomic.AddInt32(&executed, 1) == 3 {
+				go dying.Close()
+			}
+			return fakeRunner(ctx, c, seed)
+		}
+	}
+	var l2 *Link
+	dying, l2 = registerWorker(t, ln, "dying", 1, dyingRunners)
+	src.pool <- l1
+	src.pool <- l2
+
+	pe := &PoolExecutor{Source: src, Rounds: 100}
+	store, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: pe})
+	if err != nil {
+		t.Fatalf("sweep must survive a worker death: %v", err)
+	}
+	if store.Len() != g.Size() {
+		t.Fatalf("completed %d of %d cells", store.Len(), g.Size())
+	}
+	if !bytes.Equal(storeJSON(t, serial), storeJSON(t, store)) {
+		t.Error("post-death pool JSON differs from serial")
+	}
+	// The dying worker re-registers (its Register loop is still
+	// running), so the registry-side listener sees a fresh dial-in.
+	if src.evictions() == 0 {
+		t.Error("dead link was not evicted")
+	}
+}
+
+// TestRegisterRedialsAfterDrop pins the worker side of the
+// registration lifecycle: when the daemon drops the connection, the
+// worker re-dials with backoff and serves jobs on the new connection.
+func TestRegisterRedialsAfterDrop(t *testing.T) {
+	g := testGrid()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	_, l := registerWorker(t, ln, "w", 2, fakeRunners)
+	l.Close() // daemon-side drop: worker must come back
+
+	l2 := acceptLink(t, ln) // the re-dial
+	src := newChanSource()
+	src.pool <- l2
+	pe := &PoolExecutor{Source: src, Rounds: 100}
+	store, err := sweep.Run(context.Background(), g, noLocal(t), sweep.Options{Executor: pe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != g.Size() {
+		t.Errorf("re-registered worker completed %d of %d cells", store.Len(), g.Size())
+	}
+}
+
+// TestLeaseGuardDropsStraggler pins the lease nonce: a result computed
+// for a canceled sweep, arriving while a later sweep is running on the
+// same connection with a colliding job ID, must be dropped — not
+// delivered as the later sweep's cell.
+func TestLeaseGuardDropsStraggler(t *testing.T) {
+	oneCell := sweep.Grid{Workloads: []string{"CNN-MNIST"}, Policies: []string{"AutoFL"}, Replicates: 1, Seed: 9}
+	gate := make(chan struct{})
+	var calls int32
+	gated := func(rounds int, traced bool) sweep.Runner {
+		return func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
+			if atomic.AddInt32(&calls, 1) == 1 {
+				<-gate // the first sweep's cell stalls until after its lease dies
+			}
+			return fakeRunner(ctx, c, seed)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, l := registerWorker(t, ln, "w", 2, gated)
+	src := newChanSource()
+	src.pool <- l
+
+	// Sweep 1: cancel while its only cell is stalled in the worker.
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		for atomic.LoadInt32(&calls) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		close(started)
+	}()
+	pe1 := &PoolExecutor{Source: src, Rounds: 100}
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, err := sweep.Run(ctx, oneCell, noLocal(t), sweep.Options{Executor: pe1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep 1: err = %v, want canceled", err)
+	}
+
+	// Sweep 2 on the released link, same task index 0. Unblock the
+	// straggler mid-sweep; its stale lease tag must make driveLink
+	// drop it rather than deliver it as sweep 2's cell 0.
+	grid2 := sweep.Grid{Workloads: []string{"MobileNet"}, Policies: []string{"AutoFL"}, Replicates: 1, Seed: 10}
+	serial2, err := sweep.Run(context.Background(), grid2, fakeRunner, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	pe2 := &PoolExecutor{Source: src, Rounds: 100}
+	store2, err := sweep.Run(context.Background(), grid2, noLocal(t), sweep.Options{Executor: pe2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(storeJSON(t, serial2), storeJSON(t, store2)) {
+		t.Error("straggler of the canceled sweep leaked into the next sweep's results")
+	}
+}
+
+// TestWorkerLifecycleNoGoroutineLeaks runs repeated serve/register/
+// close cycles and checks the goroutine count returns to baseline —
+// the long-lived-connection hygiene the control plane depends on.
+func TestWorkerLifecycleNoGoroutineLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		// Listener worker served by a coordinator.
+		w := startWorker(t, 2, fakeRunners)
+		re := &RemoteExecutor{Addrs: []string{w.Addr()}, Rounds: 100}
+		if _, err := sweep.Run(context.Background(), testGrid(), noLocal(t), sweep.Options{Executor: re}); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+
+		// Register-mode worker with its link driven and dropped.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, l := registerWorker(t, ln, "cycle", 1, fakeRunners)
+		l.Close()
+		dw.Close()
+		ln.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked across serve/close cycles: baseline %d, now %d", baseline, runtime.NumGoroutine())
 }

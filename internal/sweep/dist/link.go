@@ -1,0 +1,290 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autofl/internal/sweep"
+)
+
+// ErrLinkClosed is the Err of a Link torn down by a deliberate Close,
+// distinguishable from a transport failure (the flnet/Worker idiom).
+var ErrLinkClosed = errors.New("dist: link closed")
+
+// leaseIDs numbers driveLink leases process-wide (see the lease nonce
+// in driveLink).
+var leaseIDs atomic.Uint64
+
+// Link is one established, handshaken connection to a worker, owned by
+// the coordinating side — whether the coordinator dialed a listening
+// worker (the PR 5 flow) or a register-mode worker dialed in and the
+// connection was accepted (the control-plane flow). Either way the
+// worker speaks first (hello), so both directions share one handshake.
+//
+// A Link owns all reads on the connection: a single persistent reader
+// goroutine routes result frames to the attached channel (or discards
+// them when none is attached), and its exit — transport failure,
+// protocol violation, or Close — closes Dead. That single-reader
+// design is what lets a long-lived registry hold idle connections and
+// lease them to one sweep after another without read handoffs: a
+// worker's death is observed the moment it happens, and a stale result
+// from a canceled lease is dropped instead of corrupting the next.
+//
+// At most one sweep drives a Link at a time (job IDs are per-sweep
+// task indexes); the registry's lease discipline enforces that.
+type Link struct {
+	conn     net.Conn
+	name     string
+	capacity int
+
+	wmu sync.Mutex // serializes job frames
+
+	mu     sync.Mutex
+	dst    chan<- JobResult
+	closed bool
+	err    error
+
+	dead   chan struct{}
+	served atomic.Int64
+}
+
+// NewLink performs the coordinator-side handshake on an established
+// connection — the worker's hello under the timeout, version check —
+// and starts the reader. On error the connection is left to the
+// caller; on success the Link owns it (Close it through the Link).
+func NewLink(conn net.Conn, timeout time.Duration) (*Link, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	m, err := readMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("reading hello: %w", err)
+	}
+	if m.Kind != kindHello || m.Hello == nil {
+		return nil, fmt.Errorf("expected hello, got %q", m.Kind)
+	}
+	if m.Hello.Version != ProtocolVersion {
+		return nil, fmt.Errorf("protocol version %d, want %d", m.Hello.Version, ProtocolVersion)
+	}
+	capacity := m.Hello.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	conn.SetReadDeadline(time.Time{})
+	l := &Link{
+		conn:     conn,
+		name:     m.Hello.Name,
+		capacity: capacity,
+		dead:     make(chan struct{}),
+	}
+	go l.read()
+	return l, nil
+}
+
+// Name is the worker's self-advertised label ("" when it sent none).
+func (l *Link) Name() string { return l.name }
+
+// RemoteAddr is the connection's remote endpoint.
+func (l *Link) RemoteAddr() string { return l.conn.RemoteAddr().String() }
+
+// Label names the link for counts and status views: the advertised
+// name when there is one, the remote address otherwise.
+func (l *Link) Label() string {
+	if l.name != "" {
+		return l.name
+	}
+	return l.RemoteAddr()
+}
+
+// Capacity is the worker's advertised concurrent-job capacity.
+func (l *Link) Capacity() int { return l.capacity }
+
+// Served reports results delivered over the link's lifetime.
+func (l *Link) Served() int { return int(l.served.Load()) }
+
+// Attach routes subsequent result frames to ch. The channel must have
+// capacity for every in-flight job of the lease (the reader blocks on
+// a full channel, which is safe only while the lease drains it).
+func (l *Link) Attach(ch chan<- JobResult) {
+	l.mu.Lock()
+	l.dst = ch
+	l.mu.Unlock()
+}
+
+// Detach stops routing results; frames arriving with no destination —
+// stragglers of a canceled lease — are counted and dropped, exactly
+// as the PR 5 coordinator dropped results for re-queued cells.
+func (l *Link) Detach() {
+	l.mu.Lock()
+	l.dst = nil
+	l.mu.Unlock()
+}
+
+// Send writes one job frame. Safe for concurrent use.
+func (l *Link) Send(j Job) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return writeMessage(l.conn, message{Kind: kindJob, Job: &j})
+}
+
+// Dead is closed when the reader exits: transport failure, protocol
+// violation, or Close. After Dead, Err reports why.
+func (l *Link) Dead() <-chan struct{} { return l.dead }
+
+// Err returns the reader's exit cause once Dead is closed
+// (ErrLinkClosed for a deliberate Close), nil before.
+func (l *Link) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close tears the link down: the connection closes, the reader exits
+// (closing Dead with ErrLinkClosed), and any lease observes the death
+// and re-queues its in-flight cells. Idempotent.
+func (l *Link) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	return l.conn.Close()
+}
+
+// read is the link's single reader: it routes result frames until the
+// connection dies.
+func (l *Link) read() {
+	for {
+		m, err := readMessage(l.conn)
+		if err != nil {
+			l.fail(err)
+			return
+		}
+		if m.Kind != kindResult || m.Result == nil {
+			l.fail(fmt.Errorf("dist: unexpected %q frame", m.Kind))
+			l.conn.Close()
+			return
+		}
+		l.mu.Lock()
+		dst := l.dst
+		l.mu.Unlock()
+		if dst != nil {
+			dst <- *m.Result
+		}
+		l.served.Add(1)
+	}
+}
+
+// fail records the reader's exit cause and closes Dead.
+func (l *Link) fail(err error) {
+	l.mu.Lock()
+	if l.closed {
+		err = ErrLinkClosed
+	}
+	l.err = err
+	l.mu.Unlock()
+	close(l.dead)
+}
+
+// driveLink runs one lease: the claim/pipeline loop of a sweep over an
+// established link. It claims tasks from the shared queue, keeps up to
+// the link's capacity in flight, and delivers completed results — all
+// on the calling goroutine, with the link's reader feeding the results
+// channel. It returns nil once the sweep is done (done closed), or
+// ctx.Err() on cancellation; if the link dies it re-queues every
+// in-flight task for the surviving workers (at-least-once delivery)
+// and returns the link's Err. In every case the link is detached on
+// return, so a straggler result can never leak into a later lease.
+func driveLink(ctx context.Context, l *Link, queue chan sweep.Task, done <-chan struct{},
+	jobFor func(sweep.Task) Job, deliver func(sweep.Task, JobResult), finish func()) error {
+	capacity := l.Capacity()
+	// Buffer headroom: up to capacity in-flight results of this lease,
+	// plus up to capacity stragglers of a previous lease the worker was
+	// still finishing — the reader must never block long enough to
+	// stall the connection.
+	results := make(chan JobResult, 2*capacity)
+	l.Attach(results)
+	defer l.Detach()
+
+	// The lease nonce guards against ID collisions across leases: job
+	// IDs are per-sweep task indexes, and a straggler from a canceled
+	// earlier sweep could otherwise be mistaken for this sweep's cell
+	// of the same index. Workers echo it verbatim.
+	lease := leaseIDs.Add(1)
+	inflight := make(map[int]sweep.Task, capacity)
+	// requeue returns every undelivered claim to the shared queue. The
+	// queue's capacity is an invariant, not a guess: a task is always
+	// either queued or in exactly one lease's in-flight set, so this
+	// can never block.
+	requeue := func() {
+		for _, t := range inflight {
+			queue <- t
+		}
+		clear(inflight)
+	}
+	handle := func(res JobResult) {
+		if res.Lease != lease {
+			return // a previous lease's straggler: drop
+		}
+		t, ok := inflight[res.ID]
+		if !ok {
+			return // already re-queued elsewhere: drop
+		}
+		delete(inflight, res.ID)
+		deliver(t, res)
+		finish()
+	}
+
+	for {
+		// Drain results until a pipeline slot frees up.
+		for len(inflight) >= capacity {
+			select {
+			case <-done:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-l.Dead():
+				requeue()
+				return l.Err()
+			case res := <-results:
+				handle(res)
+			}
+		}
+		// A task to fill it — while staying ready to deliver.
+		var t sweep.Task
+		claimed := false
+		for !claimed {
+			select {
+			case <-done:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-l.Dead():
+				requeue()
+				return l.Err()
+			case res := <-results:
+				handle(res)
+			case t = <-queue:
+				claimed = true
+			}
+		}
+		inflight[t.Index] = t
+		j := jobFor(t)
+		j.Lease = lease
+		if err := l.Send(j); err != nil {
+			// The write failed but the reader may not have noticed yet;
+			// force the teardown so Dead closes and Err is set.
+			l.conn.Close()
+			requeue()
+			return err
+		}
+	}
+}

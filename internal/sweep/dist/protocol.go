@@ -15,11 +15,14 @@
 // the engine's emit path and the cache's duplicate-digest resolution
 // make redundant deliveries harmless.
 //
-// Wire protocol, per coordinator→worker connection:
+// Wire protocol, per coordinator↔worker connection (the worker speaks
+// first whichever side dialed, so a coordinator dialing a listening
+// worker and a register-mode worker dialing a control-plane daemon
+// share one handshake):
 //
-//	worker → coordinator   hello{version, capacity}        (once, on accept)
-//	coordinator → worker   job{id, cell, seed, rounds, traced, digest}
-//	worker → coordinator   result{id, digest, outcome, err, wall_seconds}
+//	worker → coordinator   hello{version, capacity, name}  (once, on connect)
+//	coordinator → worker   job{id, cell, seed, rounds, traced, digest, lease}
+//	worker → coordinator   result{id, digest, lease, outcome, err, wall_seconds}
 //
 // The coordinator pipelines up to the advertised capacity of jobs per
 // worker; the worker executes them on a local pool and streams results
@@ -35,6 +38,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 
 	"autofl/internal/sweep"
 )
@@ -67,6 +72,10 @@ type Hello struct {
 	// the coordinator keeps at most this many in flight on the
 	// connection.
 	Capacity int `json:"capacity"`
+	// Name is the worker's optional self-advertised label, shown in
+	// the control plane's worker registry instead of the (ephemeral)
+	// remote address of a dialed-in registration.
+	Name string `json:"name,omitempty"`
 }
 
 // Job is one cell execution request. It is self-contained — cell,
@@ -89,12 +98,21 @@ type Job struct {
 	// by it); the coordinator never trusts the echo, it recomputes
 	// commits from its own signature.
 	Digest string `json:"digest,omitempty"`
+	// Lease tags the job with the coordinator lease that sent it; the
+	// worker echoes it on the result. Job IDs are per-sweep task
+	// indexes, so on a long-lived connection serving one sweep after
+	// another the lease tag is what keeps a straggler result of a
+	// canceled sweep from being mistaken for the current sweep's cell
+	// of the same index.
+	Lease uint64 `json:"lease,omitempty"`
 }
 
 // JobResult is one completed cell, streamed back in completion order.
 type JobResult struct {
 	ID     int    `json:"id"`
 	Digest string `json:"digest,omitempty"`
+	// Lease echoes the job's lease tag (see Job.Lease).
+	Lease uint64 `json:"lease,omitempty"`
 	// Outcome carries the trace payload when the job requested one.
 	Outcome sweep.Outcome `json:"outcome"`
 	// Err is the cell's error (or recovered panic), exactly as
@@ -132,6 +150,37 @@ func writeMessage(w io.Writer, m message) error {
 		return fmt.Errorf("dist: write %s: %w", m.Kind, err)
 	}
 	return nil
+}
+
+// ParseWorkerList resolves a worker-address flag value: either a
+// comma-separated list of addresses, or "@path" naming a file with
+// one address per line ('#' starts a comment; blank lines are
+// ignored). Both cmd/autofl-sweep's -workers coordinator flag and
+// cmd/autofl-sweepd's static-fleet bootstrap share it, so one fleet
+// file drives either entry point.
+func ParseWorkerList(arg string) ([]string, error) {
+	var fields []string
+	if path, ok := strings.CutPrefix(arg, "@"); ok {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("dist: workers file: %w", err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			fields = append(fields, line)
+		}
+	} else {
+		fields = strings.Split(arg, ",")
+	}
+	var out []string
+	for _, f := range fields {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out, nil
 }
 
 // readMessage reads one length-prefixed frame and decodes it.

@@ -13,9 +13,9 @@ import (
 	"autofl/internal/sweep"
 )
 
-// ErrWorkerClosed is returned by Worker.Serve after Close tears the
-// worker down (the flnet Server.Close idiom: a deliberate shutdown is
-// distinguishable from a transport failure).
+// ErrWorkerClosed is returned by Worker.Serve and Worker.Register
+// after Close tears the worker down (the flnet Server.Close idiom: a
+// deliberate shutdown is distinguishable from a transport failure).
 var ErrWorkerClosed = errors.New("dist: worker closed")
 
 // RunnerFor maps a job's execution parameters — the round horizon and
@@ -25,13 +25,18 @@ var ErrWorkerClosed = errors.New("dist: worker closed")
 // -rounds value, traced (cache-backed) or not.
 type RunnerFor func(rounds int, traced bool) sweep.Runner
 
-// Worker serves sweep cells to coordinators: it accepts connections,
-// reads job frames, executes each cell in-process through the runner
-// RunnerFor selects (with sweep.ExecuteTask's panic isolation), and
-// streams results back. Multiple coordinator connections are served
-// concurrently; each gets its own job pool of the advertised capacity.
+// Worker serves sweep cells to coordinators over either transport
+// direction: Serve accepts coordinator connections on a listener (the
+// PR 5 dial-out-fleet flow), and Register dials a control-plane
+// daemon's registry and serves jobs over that connection, re-dialing
+// with backoff whenever it drops. Both paths speak the same protocol —
+// the worker sends hello, then executes job frames through the runner
+// RunnerFor selects (with sweep.ExecuteTask's panic isolation) and
+// streams results back. Multiple connections are served concurrently;
+// each gets its own job pool of the advertised capacity.
 type Worker struct {
-	ln       net.Listener
+	ln       net.Listener // nil for a register-only worker
+	name     string
 	runners  RunnerFor
 	parallel int
 
@@ -40,6 +45,7 @@ type Worker struct {
 
 	mu     sync.Mutex
 	closed bool
+	done   chan struct{} // closed by Close; wakes Register's backoff sleep
 	conns  map[net.Conn]struct{}
 
 	handlers sync.WaitGroup
@@ -51,29 +57,54 @@ type Worker struct {
 // connection (values < 1 select GOMAXPROCS). Call Serve to accept
 // coordinators.
 func NewWorker(addr string, parallel int, runners RunnerFor) (*Worker, error) {
+	w, err := newWorker("", parallel, runners)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	w.ln = ln
+	return w, nil
+}
+
+// NewDialWorker returns a register-only worker: it holds no listener
+// and serves jobs exclusively over connections Register dials out to a
+// control-plane daemon. name is the label advertised in the hello
+// banner (shown by the daemon's worker registry; "" falls back to the
+// connection's remote address there).
+func NewDialWorker(name string, parallel int, runners RunnerFor) (*Worker, error) {
+	return newWorker(name, parallel, runners)
+}
+
+func newWorker(name string, parallel int, runners RunnerFor) (*Worker, error) {
 	if runners == nil {
 		return nil, fmt.Errorf("dist: worker needs a RunnerFor")
 	}
 	if parallel < 1 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dist: listen: %w", err)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Worker{
-		ln:       ln,
+		name:     name,
 		runners:  runners,
 		parallel: parallel,
 		ctx:      ctx,
 		cancel:   cancel,
+		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}, nil
 }
 
-// Addr is the bound listen address (useful with ":0").
-func (w *Worker) Addr() string { return w.ln.Addr().String() }
+// Addr is the bound listen address (useful with ":0"); "" for a
+// register-only worker.
+func (w *Worker) Addr() string {
+	if w.ln == nil {
+		return ""
+	}
+	return w.ln.Addr().String()
+}
 
 // Served reports the number of jobs executed to completion since the
 // worker started.
@@ -83,6 +114,9 @@ func (w *Worker) Served() int { return int(w.served.Load()) }
 // ErrWorkerClosed. Each connection is handled on its own goroutine;
 // Serve itself only accepts.
 func (w *Worker) Serve() error {
+	if w.ln == nil {
+		return fmt.Errorf("dist: register-only worker has no listener (use Register)")
+	}
 	for {
 		conn, err := w.ln.Accept()
 		if err != nil {
@@ -91,15 +125,10 @@ func (w *Worker) Serve() error {
 			}
 			return fmt.Errorf("dist: accept: %w", err)
 		}
-		w.mu.Lock()
-		if w.closed {
-			w.mu.Unlock()
+		if !w.track(conn) {
 			conn.Close()
 			return ErrWorkerClosed
 		}
-		w.conns[conn] = struct{}{}
-		w.handlers.Add(1)
-		w.mu.Unlock()
 		go func() {
 			defer w.handlers.Done()
 			w.handle(conn)
@@ -107,11 +136,117 @@ func (w *Worker) Serve() error {
 	}
 }
 
-// Close shuts the worker down: the listener stops accepting (waking a
-// blocked Serve, which returns ErrWorkerClosed), every coordinator
-// connection is closed (unblocking their reads), in-flight cell
-// executions are canceled through the worker context, and Close waits
-// for the connection handlers to drain. Idempotent.
+// RegisterOptions tune Register's re-dial loop. The zero value selects
+// the defaults.
+type RegisterOptions struct {
+	// DialTimeout bounds each dial attempt (default 5s).
+	DialTimeout time.Duration
+	// MinBackoff and MaxBackoff bound the exponential re-dial backoff
+	// after a failed dial or a dropped connection (defaults 100ms, 5s).
+	// A connection that served jobs resets the backoff.
+	MinBackoff, MaxBackoff time.Duration
+	// OnState, when set, observes connection lifecycle transitions
+	// ("dialing", "serving", "backoff") — the worker CLI's logging
+	// hook.
+	OnState func(state string, err error)
+}
+
+func (o RegisterOptions) withDefaults() RegisterOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// Register dials the control-plane daemon's worker registry at addr
+// and serves jobs over the connection until it drops, then re-dials
+// with exponential backoff — the worker side of the registration
+// lifecycle. A worker that registers while a sweep is running picks up
+// that sweep's queued cells (mid-sweep join); a worker whose daemon
+// restarts finds it again without operator action. Register blocks
+// until ctx is done (returning ctx.Err()) or Close is called
+// (returning ErrWorkerClosed). Serve and Register may run
+// concurrently: one process can accept a static fleet's coordinator
+// dials and register with a daemon at once.
+func (w *Worker) Register(ctx context.Context, addr string, opts RegisterOptions) error {
+	opts = opts.withDefaults()
+	backoff := opts.MinBackoff
+	notify := func(state string, err error) {
+		if opts.OnState != nil {
+			opts.OnState(state, err)
+		}
+	}
+	for {
+		if w.isClosed() {
+			return ErrWorkerClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		notify("dialing", nil)
+		d := net.Dialer{Timeout: opts.DialTimeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			if !w.track(conn) {
+				conn.Close()
+				return ErrWorkerClosed
+			}
+			notify("serving", nil)
+			served := w.served.Load()
+			func() {
+				defer w.handlers.Done()
+				w.handle(conn)
+			}()
+			if w.served.Load() > served {
+				backoff = opts.MinBackoff // the link did real work; reset
+			}
+			err = fmt.Errorf("connection to %s closed", addr)
+		}
+		if w.isClosed() {
+			return ErrWorkerClosed
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		notify("backoff", err)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.done:
+			return ErrWorkerClosed
+		}
+		if backoff *= 2; backoff > opts.MaxBackoff {
+			backoff = opts.MaxBackoff
+		}
+	}
+}
+
+// track registers a live connection for Close to tear down, claiming a
+// handler slot. It reports false when the worker is already closed.
+func (w *Worker) track(conn net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.conns[conn] = struct{}{}
+	w.handlers.Add(1)
+	return true
+}
+
+// Close shuts the worker down: the listener (if any) stops accepting
+// (waking a blocked Serve, which returns ErrWorkerClosed), Register's
+// re-dial loop is woken and stopped, every coordinator connection is
+// closed (unblocking their reads), in-flight cell executions are
+// canceled through the worker context, and Close waits for the
+// connection handlers to drain. Idempotent.
 //
 // Connections close before the context cancels, deliberately: a job
 // interrupted by shutdown must surface to its coordinator as a broken
@@ -125,13 +260,17 @@ func (w *Worker) Close() error {
 		return nil
 	}
 	w.closed = true
+	close(w.done)
 	conns := make([]net.Conn, 0, len(w.conns))
 	for c := range w.conns {
 		conns = append(conns, c)
 	}
 	w.mu.Unlock()
 
-	err := w.ln.Close()
+	var err error
+	if w.ln != nil {
+		err = w.ln.Close()
+	}
 	for _, c := range conns {
 		c.Close()
 	}
@@ -165,7 +304,7 @@ func (w *Worker) handle(conn net.Conn) {
 		defer wmu.Unlock()
 		return writeMessage(conn, m)
 	}
-	if err := write(message{Kind: kindHello, Hello: &Hello{Version: ProtocolVersion, Capacity: w.parallel}}); err != nil {
+	if err := write(message{Kind: kindHello, Hello: &Hello{Version: ProtocolVersion, Capacity: w.parallel, Name: w.name}}); err != nil {
 		return
 	}
 
@@ -217,6 +356,7 @@ func (w *Worker) execute(job Job) JobResult {
 	return JobResult{
 		ID:          job.ID,
 		Digest:      job.Digest,
+		Lease:       job.Lease,
 		Outcome:     r.Outcome,
 		Err:         r.Err,
 		WallSeconds: time.Since(start).Seconds(),

@@ -1,0 +1,166 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx response from the daemon, carrying its status
+// code and the server's error message.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("svc: server returned %d: %s", e.Code, e.Message)
+}
+
+// Client talks to a sweep daemon's v1 API — the cmd/autofl-sweep
+// client mode, usable by any Go caller.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7170".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request; a JSON body in, an optional JSON decode out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.BaseURL, "/")+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns an error response into an *APIError.
+func decodeAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e apiError
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return &APIError{Code: resp.StatusCode, Message: e.Error}
+	}
+	return &APIError{Code: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+}
+
+// Submit posts a sweep spec and returns its queued status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", spec, &st)
+	return st, err
+}
+
+// Status fetches one job's live status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists the daemon's jobs in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &out)
+	return out, err
+}
+
+// Result fetches a finished job's result bytes — exactly the engine's
+// WriteJSON (format "json" or "") or WriteCSV (format "csv") output.
+func (c *Client) Result(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/v1/sweeps/" + id + "/result"
+	if format != "" {
+		path += "?format=" + format
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(c.BaseURL, "/")+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// Workers lists the daemon's registered workers.
+func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var out []WorkerInfo
+	err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &out)
+	return out, err
+}
+
+// Wait polls a job until it reaches a terminal state (or ctx is
+// done), invoking onUpdate — when non-nil — with each status snapshot
+// whose Done count advanced (and with the terminal one).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onUpdate func(JobStatus)) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	lastDone := -1
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if onUpdate != nil && (st.Done != lastDone || Terminal(st.State)) {
+			lastDone = st.Done
+			onUpdate(st)
+		}
+		if Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"autofl/internal/sweep/dist"
+)
+
+// ErrRegistryClosed is returned by Acquire after the registry shuts
+// down.
+var ErrRegistryClosed = errors.New("svc: registry closed")
+
+// WorkerInfo is one registered worker as GET /v1/workers reports it.
+type WorkerInfo struct {
+	// Name is the worker's self-advertised label ("" when it sent
+	// none); Addr is the connection's remote endpoint.
+	Name string `json:"name,omitempty"`
+	Addr string `json:"addr"`
+	// Capacity is the advertised concurrent-job capacity; Served
+	// counts results delivered over the connection's lifetime.
+	Capacity int `json:"capacity"`
+	Served   int `json:"served"`
+	// State is "idle" or "leased" (driving a sweep right now).
+	State       string    `json:"state"`
+	ConnectedAt time.Time `json:"connected_at"`
+}
+
+// workerEntry is the registry's bookkeeping for one link.
+type workerEntry struct {
+	leased      bool
+	connectedAt time.Time
+}
+
+// Registry is the daemon's worker pool: the canonical dist.Source.
+// Workers arrive over two paths that end in the same place — a
+// dist.Worker in register mode dials the registry listener (Serve
+// accepts and handshakes it), or the registry itself maintains
+// dial-out connections to a static fleet of listening workers
+// (Maintain, the PR 5 direction, re-dialed with backoff when they
+// drop). Either way the established Link joins the idle pool, wakes
+// any sweep blocked on Acquire — that is how a mid-sweep joiner picks
+// up queued cells — and is leased to one sweep at a time. A link whose
+// connection dies is removed (idle) or evicted by its lease (leased);
+// its in-flight cells re-queue through the executor's at-least-once
+// path.
+type Registry struct {
+	// HandshakeTimeout bounds the hello read per connection (default
+	// 10s). Set before Serve/Maintain.
+	HandshakeTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*dist.Link
+	info   map[*dist.Link]*workerEntry
+	notify chan struct{} // closed and replaced on every pool change
+	closed bool
+	ln     net.Listener
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		info:   make(map[*dist.Link]*workerEntry),
+		notify: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func (r *Registry) handshakeTimeout() time.Duration {
+	if r.HandshakeTimeout > 0 {
+		return r.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
+// goTracked runs fn on a registry-tracked goroutine; false once the
+// registry closed (Close waits for every tracked goroutine, and the
+// Add-under-lock discipline is what makes that wait race-free).
+func (r *Registry) goTracked(fn func()) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+	return true
+}
+
+// wakeLocked broadcasts a pool change to every Acquire waiter.
+// Callers hold r.mu.
+func (r *Registry) wakeLocked() {
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// Listen binds the registration listener at addr (":0" picks a free
+// port) and starts accepting worker registrations until Close. It
+// returns the bound address — valid immediately, so workers can be
+// pointed at it without racing the accept loop. Each accepted
+// connection handshakes on its own goroutine — a silent dialer cannot
+// stall later registrations — and joins the pool.
+func (r *Registry) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		ln.Close()
+		return "", ErrRegistryClosed
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // Close closed the listener (or it failed terminally)
+			}
+			if !r.goTracked(func() {
+				l, err := dist.NewLink(conn, r.handshakeTimeout())
+				if err != nil {
+					conn.Close()
+					return
+				}
+				if !r.add(l) {
+					l.Close()
+				}
+			}) {
+				conn.Close()
+				return
+			}
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr is the registration listener's address ("" before Serve).
+func (r *Registry) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// Maintain keeps one dial-out connection to a listening worker at addr
+// alive for the registry's lifetime: dial, handshake, pool the link,
+// and when it dies re-dial with exponential backoff (100ms–5s, reset
+// by a connection that served jobs). This is the static-fleet
+// bootstrap — the daemon's -workers flag feeds it — so one deployment
+// can mix legacy listen-mode workers with register-mode ones.
+func (r *Registry) Maintain(addr string) {
+	r.goTracked(func() {
+		const minBackoff, maxBackoff = 100 * time.Millisecond, 5 * time.Second
+		backoff := minBackoff
+		for {
+			if r.isClosed() {
+				return
+			}
+			if l := r.dialWorker(addr); l != nil {
+				served := l.Served()
+				select {
+				case <-l.Dead():
+				case <-r.done:
+					r.remove(l)
+					return
+				}
+				r.remove(l)
+				if l.Served() > served {
+					backoff = minBackoff
+				}
+			}
+			select {
+			case <-time.After(backoff):
+			case <-r.done:
+				return
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	})
+}
+
+// dialWorker dials and handshakes one static worker, pooling the link;
+// nil when any step fails (the Maintain loop backs off and retries).
+func (r *Registry) dialWorker(addr string) *dist.Link {
+	conn, err := net.DialTimeout("tcp", addr, r.handshakeTimeout())
+	if err != nil {
+		return nil
+	}
+	l, err := dist.NewLink(conn, r.handshakeTimeout())
+	if err != nil {
+		conn.Close()
+		return nil
+	}
+	if !r.add(l) {
+		l.Close()
+		return nil
+	}
+	return l
+}
+
+// add pools an established link and starts its death watcher; false
+// once the registry closed.
+func (r *Registry) add(l *dist.Link) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.info[l] = &workerEntry{connectedAt: time.Now()}
+	r.idle = append(r.idle, l)
+	r.wakeLocked()
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go func() {
+		// The watcher drops a link that dies while idle (a leased
+		// link's death is observed by its lease, which Evicts). remove
+		// tolerates either order.
+		defer r.wg.Done()
+		select {
+		case <-l.Dead():
+			r.remove(l)
+		case <-r.done:
+		}
+	}()
+	return true
+}
+
+// remove forgets a link entirely (idle slice and info map) and closes
+// it. Safe to call for an already-removed link.
+func (r *Registry) remove(l *dist.Link) {
+	l.Close()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.info, l)
+	for i, il := range r.idle {
+		if il == l {
+			r.idle = append(r.idle[:i], r.idle[i+1:]...)
+			break
+		}
+	}
+}
+
+// Acquire implements dist.Source: it leases an idle worker link,
+// blocking until one is available (a worker registering mid-sweep
+// satisfies the wait) or ctx is done. Dead idle links are skipped and
+// dropped on the way.
+func (r *Registry) Acquire(ctx context.Context) (*dist.Link, error) {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil, ErrRegistryClosed
+		}
+		for len(r.idle) > 0 {
+			l := r.idle[len(r.idle)-1]
+			r.idle = r.idle[:len(r.idle)-1]
+			select {
+			case <-l.Dead():
+				delete(r.info, l)
+				continue
+			default:
+			}
+			r.info[l].leased = true
+			r.mu.Unlock()
+			return l, nil
+		}
+		wait := r.notify
+		r.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-r.done:
+			return nil, ErrRegistryClosed
+		}
+	}
+}
+
+// Release implements dist.Source: a healthy link returns to the idle
+// pool (waking waiters); a dead one is dropped.
+func (r *Registry) Release(l *dist.Link) {
+	select {
+	case <-l.Dead():
+		r.remove(l)
+		return
+	default:
+	}
+	r.mu.Lock()
+	if e, ok := r.info[l]; ok && !r.closed {
+		e.leased = false
+		r.idle = append(r.idle, l)
+		r.wakeLocked()
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	l.Close()
+}
+
+// Evict implements dist.Source: a link whose lease observed a
+// connection failure is closed and forgotten. The worker behind it
+// re-registers on its own (register mode) or is re-dialed (Maintain).
+func (r *Registry) Evict(l *dist.Link, err error) { r.remove(l) }
+
+// Workers snapshots the registry for GET /v1/workers, sorted by label
+// then address.
+func (r *Registry) Workers() []WorkerInfo {
+	r.mu.Lock()
+	out := make([]WorkerInfo, 0, len(r.info))
+	for l, e := range r.info {
+		state := "idle"
+		if e.leased {
+			state = "leased"
+		}
+		out = append(out, WorkerInfo{
+			Name:        l.Name(),
+			Addr:        l.RemoteAddr(),
+			Capacity:    l.Capacity(),
+			Served:      l.Served(),
+			State:       state,
+			ConnectedAt: e.connectedAt,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Len reports the number of registered workers (idle and leased).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.info)
+}
+
+func (r *Registry) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Close shuts the registry down: the listener stops accepting, every
+// pooled link closes (a leased link's death re-queues its cells to
+// nobody — callers should drain sweeps first), Acquire waiters get
+// ErrRegistryClosed, and Close waits for the watcher/maintainer
+// goroutines. Idempotent.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.done)
+	links := make([]*dist.Link, 0, len(r.info))
+	for l := range r.info {
+		links = append(links, l)
+	}
+	r.info = make(map[*dist.Link]*workerEntry)
+	r.idle = nil
+	ln := r.ln
+	r.wakeLocked()
+	r.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, l := range links {
+		l.Close()
+	}
+	r.wg.Wait()
+	return err
+}

@@ -96,14 +96,14 @@ func (c Cell) less(o Cell) bool {
 // value sets, replicated Replicates times. An empty axis contributes a
 // single empty value, which Runners interpret as that axis's default.
 type Grid struct {
-	Workloads  []string
-	Settings   []string
-	Data       []string
-	Envs       []string
-	Policies   []string
-	Replicates int
+	Workloads  []string `json:"workloads,omitempty"`
+	Settings   []string `json:"settings,omitempty"`
+	Data       []string `json:"data,omitempty"`
+	Envs       []string `json:"envs,omitempty"`
+	Policies   []string `json:"policies,omitempty"`
+	Replicates int      `json:"replicates,omitempty"`
 	// Seed is the grid master seed every cell seed derives from.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 }
 
 // axisOrDefault substitutes the single-default axis for an empty set.

@@ -1,0 +1,133 @@
+package autofl
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"autofl/internal/sweep"
+	"autofl/internal/sweep/dist"
+	"autofl/internal/sweep/svc"
+)
+
+// TestSweepServiceEndToEnd is the control-plane acceptance criterion
+// over real Scenario runs: a daemon with two registered workers serves
+// a submitted grid whose JSON result is byte-identical to a serial
+// local run, and a second overlapping submission is served from the
+// shared cache — > 0 hits, 0 duplicate cell executions.
+func TestSweepServiceEndToEnd(t *testing.T) {
+	g := smallGrid(42)
+	const rounds = 25
+	serial, err := RunSweep(context.Background(), g, rounds, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := serial.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := svc.NewRegistry()
+	regAddr, err := reg.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for _, name := range []string{"w1", "w2"} {
+		w, err := dist.NewDialWorker(name, 2, SweepRunners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Register(context.Background(), regAddr, dist.RegisterOptions{MinBackoff: 5 * time.Millisecond})
+		defer w.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Len() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered (have %d)", reg.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	service, err := svc.New(svc.Config{Runners: SweepRunners, Registry: reg, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer service.Close()
+	srv := httptest.NewServer(service.Handler())
+	defer srv.Close()
+	client := &svc.Client{BaseURL: srv.URL, HTTP: srv.Client()}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := client.Submit(ctx, svc.JobSpec{Grid: g, Rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Wait(ctx, st.ID, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != svc.StateDone {
+		t.Fatalf("job 1 = %+v", final)
+	}
+	executed := 0
+	for _, n := range final.Workers {
+		executed += n
+	}
+	if executed != g.Size() {
+		t.Errorf("job 1 executed %d cells on workers, want %d", executed, g.Size())
+	}
+	got, err := client.Result(ctx, st.ID, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("daemon result differs from serial local run")
+	}
+
+	// Second client, overlapping grid (a superset: one more policy).
+	// Every cell of the first grid must come from the cache, and only
+	// the new policy's cells execute.
+	g2 := g
+	g2.Policies = append(append([]string(nil), g.Policies...), string(PolicyAutoFL))
+	serial2, err := RunSweep(context.Background(), g2, rounds, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want2 bytes.Buffer
+	if err := serial2.WriteJSON(&want2); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := client.Submit(ctx, svc.JobSpec{Grid: g2, Rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2, err := client.Wait(ctx, st2.ID, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final2.State != svc.StateDone {
+		t.Fatalf("job 2 = %+v", final2)
+	}
+	if final2.CacheHits != g.Size() {
+		t.Errorf("job 2 cache hits = %d, want the full %d-cell overlap", final2.CacheHits, g.Size())
+	}
+	executed2 := 0
+	for _, n := range final2.Workers {
+		executed2 += n
+	}
+	if executed2 != g2.Size()-g.Size() {
+		t.Errorf("job 2 executed %d cells, want only the %d non-overlapping ones",
+			executed2, g2.Size()-g.Size())
+	}
+	got2, err := client.Result(ctx, st2.ID, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want2.Bytes()) {
+		t.Error("overlapping submission differs from a cold serial run")
+	}
+}

@@ -100,6 +100,19 @@ func TracedSweepRunner(maxRounds int) sweep.Runner {
 	}
 }
 
+// SweepRunners is the dist.RunnerFor bridge: it maps a job's (rounds,
+// traced) parameters to the scenario runner executing it — the single
+// wiring point between the scenario layer and every cell server
+// (cmd/autofl-sweep -worker/-register) and control-plane daemon
+// (cmd/autofl-sweepd), which cannot be reached from internal packages
+// without an import cycle.
+func SweepRunners(rounds int, traced bool) sweep.Runner {
+	if traced {
+		return TracedSweepRunner(rounds)
+	}
+	return SweepRunner(rounds)
+}
+
 // RunSweep executes the grid through Scenario.Run on a worker pool
 // (see sweep.Run for the execution contract). It is the programmatic
 // face of cmd/autofl-sweep; RunSweepWith adds caching and scheduling.
