@@ -26,6 +26,7 @@ import (
 
 	"autofl/internal/core"
 	"autofl/internal/data"
+	"autofl/internal/device"
 	"autofl/internal/metrics"
 	"autofl/internal/policy"
 	"autofl/internal/sim"
@@ -143,9 +144,41 @@ type Scenario struct {
 	Seed uint64
 	// MaxRounds bounds the run (default 1000, the paper's horizon).
 	MaxRounds int
+	// Fleet overrides the paper's 200-device testbed with a scaled
+	// population; nil keeps the default fleet. See FleetSpec for the
+	// cohort/sampling semantics.
+	Fleet *FleetSpec
 	// AutoFL configures the AutoFL controller when it is the policy
 	// being run; nil selects the paper's hyperparameters.
 	AutoFL *AutoFLOptions
+}
+
+// FleetSpec sizes a device population beyond the paper's 200-device
+// testbed. The population is held in cohort form — an archetype table
+// plus packed struct-of-arrays per-device state (~42 bytes/device) —
+// so one Scenario scales to millions of devices.
+type FleetSpec struct {
+	// High, Mid, Low are the per-tier device counts.
+	High, Mid, Low int
+	// Sample is the per-round candidate-pool size: each round the
+	// engine draws Sample candidates from the population and the
+	// policy selects K participants among them, making per-round cost
+	// O(Sample) instead of O(fleet). Zero runs the population
+	// exhaustively (byte-identical to a materialized fleet of the same
+	// shape) — fine for thousands of devices, a wall at millions.
+	Sample int
+	// Shards is the engine's intra-round parallelism (0 = automatic).
+	// Results are independent of the shard count.
+	Shards int
+}
+
+// ScaledFleet builds a FleetSpec with n devices in the paper's tier
+// proportions (15% high, 35% mid, 50% low) and the given per-round
+// candidate sample.
+func ScaledFleet(n, sample int) *FleetSpec {
+	high := n * device.DefaultHighCount / 200
+	mid := n * device.DefaultMidCount / 200
+	return &FleetSpec{High: high, Mid: mid, Low: n - high - mid, Sample: sample}
 }
 
 // AutoFLOptions exposes the controller hyperparameters (§5.3).
@@ -239,6 +272,16 @@ func (s Scenario) simConfig() (sim.Config, error) {
 		cfg.Env = sim.EnvWeakNetwork()
 	default:
 		return cfg, fmt.Errorf("autofl: unknown environment %q", s.Env)
+	}
+
+	if s.Fleet != nil {
+		pop, err := device.NewPopulation(s.Fleet.High, s.Fleet.Mid, s.Fleet.Low)
+		if err != nil {
+			return cfg, fmt.Errorf("autofl: fleet spec: %w", err)
+		}
+		cfg.Population = pop
+		cfg.Sample = s.Fleet.Sample
+		cfg.Shards = s.Fleet.Shards
 	}
 	return cfg, nil
 }

@@ -10,6 +10,7 @@
 //	autoflsim -policy AutoFL -workload CNN-MNIST -setting S3 -env field
 //	autoflsim -policy AutoFL -progress -rounds 300
 //	autoflsim -compare -data noniid75
+//	autoflsim -policy FedAvg-Random -devices 1000000 -sample 4096 -rounds 50
 package main
 
 import (
@@ -34,6 +35,9 @@ func main() {
 		progress     = flag.Bool("progress", false, "stream live per-round progress to stderr")
 		every        = flag.Int("progress-every", 25, "with -progress, print every Nth round")
 		list         = flag.Bool("list", false, "list available policies and exit")
+		devices      = flag.Int("devices", 0, "population size in the paper's tier mix (0 = the 200-device testbed)")
+		sample       = flag.Int("sample", 0, "per-round candidate pool for large populations (0 = exhaustive)")
+		shards       = flag.Int("shards", 0, "engine parallelism for large populations (0 = automatic)")
 	)
 	flag.Parse()
 
@@ -51,6 +55,11 @@ func main() {
 		Env:       autofl.Environment(*env),
 		Seed:      *seed,
 		MaxRounds: *rounds,
+	}
+	if *devices > 0 {
+		fleet := autofl.ScaledFleet(*devices, *sample)
+		fleet.Shards = *shards
+		scenario.Fleet = fleet
 	}
 
 	if *compare {

@@ -71,6 +71,11 @@ type DeviceData struct {
 	// Proportions holds the per-class sample proportions for non-IID
 	// devices (indexed by class id); nil for IID devices.
 	Proportions []float64
+	// Quality, when positive, is a precomputed IIDQuality value. The
+	// packed population partition stores per-device quality as one
+	// float instead of a Proportions slice; legacy partitions leave it
+	// zero and IIDQuality derives the score from Proportions as before.
+	Quality float64
 }
 
 // IIDQuality scores how well this device's update approximates an
@@ -83,6 +88,9 @@ type DeviceData struct {
 func (d *DeviceData) IIDQuality() float64 {
 	if d.IID {
 		return 1
+	}
+	if d.Quality > 0 {
+		return d.Quality
 	}
 	if len(d.Proportions) == 0 {
 		return d.ClassFraction

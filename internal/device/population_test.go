@@ -1,0 +1,103 @@
+package device
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewPopulationRejectsDegenerateShapes(t *testing.T) {
+	if _, err := NewPopulation(-1, 5, 5); err == nil {
+		t.Error("negative tier count accepted")
+	}
+	if _, err := NewPopulation(0, 0, 0); err == nil {
+		t.Error("all-zero population accepted")
+	}
+	if p, err := NewPopulation(0, 0, 7); err != nil || p.Len() != 7 {
+		t.Errorf("single-tier population: err=%v len=%d", err, p.Len())
+	}
+}
+
+// TestPopulationMaterializesNewFleet pins the equivalence the engine's
+// exhaustive mode rests on: NewPopulation(h, m, l).Fleet() is
+// NewFleet(h, m, l), device for device.
+func TestPopulationMaterializesNewFleet(t *testing.T) {
+	p, err := NewPopulation(3, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := p.Fleet(), NewFleet(3, 7, 10)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("materialized fleet differs from NewFleet:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestPopulationIndexing(t *testing.T) {
+	p, err := NewPopulation(3, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", p.Len())
+	}
+	wantCounts := [NumCategories]int{3, 7, 10}
+	if got := p.CountByCategory(); got != wantCounts {
+		t.Errorf("CountByCategory = %v, want %v", got, wantCounts)
+	}
+	// Boundaries: archetype membership must flip exactly at the offsets.
+	cases := []struct{ i, archetype int }{
+		{0, 0}, {2, 0}, {3, 1}, {9, 1}, {10, 2}, {19, 2},
+	}
+	for _, c := range cases {
+		if got := p.ArchetypeOf(c.i); got != c.archetype {
+			t.Errorf("ArchetypeOf(%d) = %d, want %d", c.i, got, c.archetype)
+		}
+	}
+	for i := 0; i < p.Len(); i++ {
+		if p.Spec(i) != p.Archetypes()[p.ArchetypeOf(i)] {
+			t.Fatalf("Spec(%d) disagrees with ArchetypeOf", i)
+		}
+	}
+}
+
+func TestPopulationSkipsEmptyTiers(t *testing.T) {
+	p, err := NewPopulation(2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Archetypes()) != 2 {
+		t.Fatalf("archetype table has %d entries, want 2 (empty tier skipped)", len(p.Archetypes()))
+	}
+	if got := p.CountByCategory(); got != [NumCategories]int{2, 0, 3} {
+		t.Errorf("CountByCategory = %v", got)
+	}
+}
+
+// TestPopulationIdleWattsMatchesFleetSum pins the O(archetypes) idle
+// aggregate against the per-device sum the legacy path computes.
+func TestPopulationIdleWattsMatchesFleetSum(t *testing.T) {
+	p, err := NewPopulation(6, 14, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, d := range p.Fleet() {
+		sum += d.Spec.IdleWatts()
+	}
+	if got := p.IdleWatts(); got != sum {
+		t.Errorf("IdleWatts = %v, fleet sum = %v", got, sum)
+	}
+}
+
+func TestFleetPopulationRoundTrip(t *testing.T) {
+	fleet := NewFleet(4, 5, 6)
+	p, err := fleet.Population()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Fleet(), fleet) {
+		t.Error("Fleet → Population → Fleet round trip differs")
+	}
+	if _, err := (Fleet{}).Population(); err == nil {
+		t.Error("empty fleet converted without error")
+	}
+}

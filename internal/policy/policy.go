@@ -118,6 +118,13 @@ func topStepSelections(indices []int) []sim.Selection {
 // participants, CPU at top frequency.
 type Random struct {
 	s *rng.Stream
+	// perm and sels are reused across rounds so Select allocates
+	// nothing in steady state — at population scale the candidate view
+	// is thousands of devices per round, and a fresh Perm per round
+	// was the policy-side allocation hot spot. PermInto consumes
+	// exactly the variates Sample did, so draws are unchanged.
+	perm []int
+	sels []sim.Selection
 }
 
 // NewRandom builds the baseline with its own random stream.
@@ -128,7 +135,21 @@ func (p *Random) Name() string { return "FedAvg-Random" }
 
 // Select implements sim.Policy.
 func (p *Random) Select(ctx *sim.RoundContext) []sim.Selection {
-	return topStepSelections(p.s.Sample(len(ctx.Devices), ctx.Params.K))
+	n, k := len(ctx.Devices), ctx.Params.K
+	if cap(p.perm) < n {
+		p.perm = make([]int, n)
+	}
+	perm := p.perm[:n]
+	p.s.PermInto(perm)
+	if k > n {
+		k = n
+	}
+	out := p.sels[:0]
+	for _, i := range perm[:k] {
+		out = append(out, sim.Selection{Index: i, Target: device.CPU, Step: -1})
+	}
+	p.sels = out
+	return out
 }
 
 // Static selects a fixed Table 4 cluster every round, with members

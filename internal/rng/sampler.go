@@ -1,0 +1,107 @@
+package rng
+
+import "math/rand/v2"
+
+// splitMix64 is the SplitMix64 finalizer: a cheap, well-mixed bijection
+// on 64-bit words. It is the standard seed-spreading hash (Steele et
+// al., OOPSLA 2014) and the basis of Mix.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Mix hashes three words into one well-spread 64-bit seed. The
+// population engine uses it to derive per-item streams — for example
+// Mix(envSeed, round, deviceIndex) — so that each (round, device)
+// pair's draws are a pure function of identity, independent of which
+// shard or goroutine evaluates them.
+func Mix(a, b, c uint64) uint64 {
+	h := splitMix64(a)
+	h = splitMix64(h ^ b)
+	h = splitMix64(h ^ c)
+	return h
+}
+
+// Reseedable is a Stream whose generator can be re-seeded in place,
+// with no per-seed allocation. One Reseedable per shard lets a
+// parallel loop give every item its own deterministic sequence —
+// Seed(Mix(base, round, item)) — while the engine's steady state
+// allocates nothing.
+type Reseedable struct {
+	pcg rand.PCG
+	s   Stream
+}
+
+// NewReseedable returns an unseeded reseedable stream. Call Seed
+// before drawing.
+func NewReseedable() *Reseedable {
+	r := &Reseedable{}
+	r.s = Stream{r: rand.New(&r.pcg)}
+	return r
+}
+
+// Seed resets the generator and returns the stream. Seed(x) yields the
+// exact sequence New(x) would, so keyed streams and forked streams are
+// interchangeable in tests.
+func (r *Reseedable) Seed(seed uint64) *Stream {
+	r.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
+	return &r.s
+}
+
+// Sampler draws k distinct indices from [0, n) in O(k) per draw
+// without materializing permutations — the population engine's
+// replacement for Sample, whose Perm(n) allocation and O(n) shuffle
+// are a wall at n = 10⁶ devices per round.
+//
+// It keeps one persistent index array and runs a partial Fisher–Yates
+// shuffle over the first k positions, then undoes the swaps so the
+// array is ready for the next draw. The marginal distribution is
+// identical to taking the first k elements of a full Fisher–Yates
+// permutation. A Sampler is not safe for concurrent use.
+type Sampler struct {
+	idx  []int32 // identity permutation between draws
+	swap []int32 // the j of each swap, for the undo pass
+}
+
+// NewSampler returns a sampler over [0, n). Resident state is 4 bytes
+// per element.
+func NewSampler(n int) *Sampler {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return &Sampler{idx: idx}
+}
+
+// Len returns the population size n.
+func (sp *Sampler) Len() int { return len(sp.idx) }
+
+// SampleInto fills out with len(out) distinct indices drawn uniformly
+// from [0, n), using draws from s. It panics if len(out) > n.
+func (sp *Sampler) SampleInto(s *Stream, out []int32) {
+	k, n := len(out), len(sp.idx)
+	if k > n {
+		panic("rng: SampleInto with k > n")
+	}
+	if cap(sp.swap) < k {
+		sp.swap = make([]int32, k)
+	}
+	swap := sp.swap[:k]
+	for i := 0; i < k; i++ {
+		j := i + s.IntN(n-i)
+		swap[i] = int32(j)
+		sp.idx[i], sp.idx[j] = sp.idx[j], sp.idx[i]
+		out[i] = sp.idx[i]
+	}
+	// Undo in reverse order: the array is the identity again, so the
+	// next draw is position-independent.
+	for i := k - 1; i >= 0; i-- {
+		j := swap[i]
+		sp.idx[i], sp.idx[j] = sp.idx[j], sp.idx[i]
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import "fmt"
+
+// ConfigError reports a degenerate Config rejected by NewEngine: an
+// empty fleet, a participant count no fleet of that size can satisfy,
+// a sampled population smaller than K, and so on. The legacy New
+// constructor panics with the same error; callers that can receive
+// untrusted configurations should use NewEngine and branch on
+// errors.As.
+type ConfigError struct {
+	// Field names the offending Config field.
+	Field string
+	// Reason explains the rejection.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+func configErrf(field, format string, args ...any) error {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// validate rejects degenerate configurations. It runs on the defaulted
+// config (so zero-value fields have already been filled in), except
+// for the Fleet/Population exclusivity check, which NewEngine applies
+// to the caller's config before defaulting.
+func (c *Config) validate() error {
+	n := len(c.Fleet)
+	if c.Population != nil {
+		n = c.Population.Len()
+	}
+	if n == 0 {
+		return configErrf("Fleet", "empty fleet: the round engine needs at least one device")
+	}
+	if c.Params.K <= 0 {
+		return configErrf("Params.K", "participant count %d is not positive", c.Params.K)
+	}
+	if c.Params.B < 0 || c.Params.E < 0 {
+		return configErrf("Params", "negative batch size or epoch count (B=%d, E=%d)", c.Params.B, c.Params.E)
+	}
+	if c.Sample < 0 {
+		return configErrf("Sample", "negative candidate-sample size %d", c.Sample)
+	}
+	if c.Shards < 0 {
+		return configErrf("Shards", "negative shard count %d", c.Shards)
+	}
+	if c.Sample > 0 && c.Population == nil {
+		return configErrf("Sample", "candidate sampling requires a Population fleet")
+	}
+	if c.Population != nil && c.Sample > 0 {
+		if c.Sample < c.Params.K {
+			return configErrf("Sample", "candidate sample %d is smaller than Params.K=%d", c.Sample, c.Params.K)
+		}
+	} else if c.Params.K > n {
+		return configErrf("Params.K", "participant count %d exceeds the %d-device fleet", c.Params.K, n)
+	}
+	return nil
+}

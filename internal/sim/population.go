@@ -1,0 +1,468 @@
+package sim
+
+// This file is the population half of the engine: the million-device
+// round path used when Config.Population is set with a positive
+// Sample. Where the legacy path walks a []*Device fleet exhaustively —
+// two RNG draws and a DeviceState per device per round — the
+// population path keeps the fleet as an archetype table plus packed
+// struct-of-arrays per-device state (~42 bytes/device resident), draws
+// a K'-candidate pool per round with an O(K') partial Fisher–Yates
+// sampler, and presents policies a candidate-sized RoundContext view,
+// so the whole round is O(Sample + participants), not O(fleet).
+//
+// Determinism is by construction: every per-device draw comes from a
+// stream keyed by rng.Mix(seedBase, round, deviceIndex), so results
+// are a pure function of the config — independent of shard count,
+// goroutine scheduling, and the Shards setting. The parallel observe
+// pass just partitions the candidate range.
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+
+	"autofl/internal/data"
+	"autofl/internal/device"
+	"autofl/internal/network"
+	"autofl/internal/power"
+	"autofl/internal/rng"
+)
+
+// popShardMin is the candidate-pool size below which the observe pass
+// stays serial: spawning shard goroutines costs more than the loop.
+const popShardMin = 1024
+
+// popState is the engine's population-mode state: the cohort fleet,
+// the packed partition, the per-device dynamic arrays, and the keyed
+// RNG machinery. All per-device arrays are struct-of-arrays, indexed
+// by the population's dense device index.
+type popState struct {
+	pop    *device.Population
+	part   *data.Packed
+	n      int
+	sample int
+	shards int
+	// fleetIdle is the population-wide idle draw, O(archetypes) once.
+	fleetIdle float64
+
+	// sampler draws the per-round candidate pool; sampleRng feeds it.
+	sampler   *rng.Sampler
+	sampleRng *rng.Stream
+	// envSeed/actSeed key the per-(round, device) observation and
+	// post-selection ("actual" co-runner) streams.
+	envSeed, actSeed uint64
+	shardRng         []*rng.Reseedable // one per shard, reseeded per device
+	actRng           *rng.Reseedable
+
+	// Packed per-device dynamic state.
+	// emaW/emaRound are the lazily-decayed participation memory of the
+	// convergence model's stability term: the stored weight as of the
+	// round it was last updated, decayed on read (O(participants) per
+	// round instead of the legacy O(fleet) decay sweep).
+	emaW     []float32
+	emaRound []int32
+	// lastStep/lastTarget record each device's most recent executed
+	// DVFS action (-1 step = never selected).
+	lastStep   []int8
+	lastTarget []int8
+	// extraJ accumulates each device's energy above the always-idle
+	// baseline; idleSec integrates round time so DeviceSnapshot can
+	// reconstruct exact cumulative energy in O(1) per device.
+	extraJ  []float64
+	idleSec float64
+}
+
+func newPopState(c *Config, partRng, envRng, root *rng.Stream) *popState {
+	n := c.Population.Len()
+	shards := c.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > 16 {
+			shards = 16
+		}
+	}
+	p := &popState{
+		pop:        c.Population,
+		n:          n,
+		sample:     c.Sample,
+		shards:     shards,
+		fleetIdle:  c.Population.IdleWatts(),
+		sampler:    rng.NewSampler(n),
+		sampleRng:  root.Fork(),
+		envSeed:    envRng.Uint64(),
+		actSeed:    envRng.Uint64(),
+		actRng:     rng.NewReseedable(),
+		emaW:       make([]float32, n),
+		emaRound:   make([]int32, n),
+		lastStep:   make([]int8, n),
+		lastTarget: make([]int8, n),
+		extraJ:     make([]float64, n),
+	}
+	for i := range p.lastStep {
+		p.lastStep[i] = -1
+	}
+	for i := 0; i < shards; i++ {
+		p.shardRng = append(p.shardRng, rng.NewReseedable())
+	}
+	p.part = data.PackedPartition(partRng.Uint64(), c.Data, n,
+		c.Workload.Dataset.Classes, c.Workload.Dataset.SamplesPerDevice, shards)
+	return p
+}
+
+// emaAt returns the device's participation weight as the legacy eager
+// sweep would read it at round t: the stored weight decayed once per
+// elapsed round since its last update.
+func (p *popState) emaAt(g, t int) float64 {
+	v := float64(p.emaW[g])
+	if v == 0 {
+		return 0
+	}
+	d := t - 1 - int(p.emaRound[g])
+	if d > 0 {
+		v *= math.Pow(emaDecay, float64(d))
+	}
+	if v < 1e-6 {
+		return 0
+	}
+	return v
+}
+
+// emaBump folds round t's participation into the device's stored
+// weight (decay-to-t plus the participation increment).
+func (p *popState) emaBump(g, t int) {
+	v := p.emaAt(g, t)*emaDecay + (1 - emaDecay)
+	p.emaW[g] = float32(v)
+	p.emaRound[g] = int32(t)
+}
+
+// observePop samples this round's candidate pool and fills the scratch
+// context with a candidate-sized view: ctx.Devices[v] describes global
+// device sc.cand[v]. Policies run unchanged against the view — their
+// selection indices are view positions; DeviceRound.Index carries the
+// global index.
+func (e *Engine) observePop(sc *roundScratch, round int, accuracy float64) *RoundContext {
+	p := e.pop
+	k := p.sample
+
+	cand := sc.cand
+	if cap(cand) < k {
+		cand = make([]int32, k)
+	}
+	cand = cand[:k]
+	p.sampler.SampleInto(p.sampleRng, cand)
+	// Ascending global order: deterministic, cache-friendly, and
+	// stable for positional policy state (tie priorities, pools).
+	slices.Sort(cand)
+	sc.cand = cand
+
+	devices := sc.ctx.Devices
+	if cap(devices) < k {
+		devices = make([]DeviceState, k)
+	}
+	devices = devices[:k]
+	if cap(sc.devs) < k {
+		sc.devs = make([]device.Device, k)
+		sc.dd = make([]data.DeviceData, k)
+	}
+	devs, dd := sc.devs[:k], sc.dd[:k]
+	sc.ctx = RoundContext{
+		Round:     round,
+		Accuracy:  accuracy,
+		Workload:  e.cfg.Workload,
+		Params:    e.cfg.Params,
+		Devices:   devices,
+		cfg:       &e.cfg,
+		fleetIdle: p.fleetIdle,
+	}
+	// Serial below the threshold — and through a named method, not a
+	// closure, so the steady-state round stays allocation-free.
+	if p.shards <= 1 || k < popShardMin {
+		e.fillView(0, 0, k, round, cand, devs, dd, devices)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < p.shards; i++ {
+			lo, hi := k*i/p.shards, k*(i+1)/p.shards
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			// Everything but wg and e rides in as arguments: a captured
+			// local would heap-escape on the serial path too.
+			go func(shard, lo, hi, round int, cand []int32, devs []device.Device, dd []data.DeviceData, devices []DeviceState) {
+				defer wg.Done()
+				e.fillView(shard, lo, hi, round, cand, devs, dd, devices)
+			}(i, lo, hi, round, cand, devs, dd, devices)
+		}
+		wg.Wait()
+	}
+	return &sc.ctx
+}
+
+// fillView fills candidate-view rows [lo, hi) of the round's context,
+// drawing each device's observation from its (round, device)-keyed
+// stream via the shard's reseedable generator. Rows are index-disjoint
+// across shards, so parallel fills never race.
+func (e *Engine) fillView(shard, lo, hi, round int, cand []int32, devs []device.Device, dd []data.DeviceData, devices []DeviceState) {
+	p := e.pop
+	rs := p.shardRng[shard]
+	for v := lo; v < hi; v++ {
+		g := int(cand[v])
+		st := rs.Seed(rng.Mix(p.envSeed, uint64(round), uint64(g)))
+		bw := e.cfg.Env.Network.Sample(st)
+		load := e.cfg.Env.Interference.Sample(st)
+		devs[v] = device.Device{ID: g, Spec: p.pop.Spec(g)}
+		dd[v] = data.DeviceData{
+			ClassFraction: float64(p.part.ClassFrac[g]),
+			Samples:       int(p.part.Samples[g]),
+			Quality:       float64(p.part.Quality[g]),
+		}
+		devices[v] = DeviceState{
+			Device:        &devs[v],
+			Load:          load,
+			BandwidthMbps: bw,
+			Signal:        network.SignalFor(bw),
+			Data:          &dd[v],
+		}
+	}
+}
+
+// runRoundPop is the population-mode round engine: the legacy round
+// logic specialized to a sampled candidate view with O(archetypes)
+// fleet-wide energy aggregation.
+func (e *Engine) runRoundPop(pol Policy, round int, accuracy float64, sc *roundScratch) (*RoundContext, *RoundResult) {
+	p := e.pop
+	ctx := e.observePop(sc, round, accuracy)
+	selections := sanitize(sc, ctx, pol.Select(ctx))
+	participants := len(selections)
+
+	traits := AggregationTraits{}
+	if tp, ok := pol.(TraitsPolicy); ok {
+		traits = tp.Traits()
+	}
+
+	k := len(ctx.Devices)
+	res := &sc.res
+	devRounds := res.Devices
+	if cap(devRounds) < k {
+		devRounds = make([]DeviceRound, k)
+	}
+	devRounds = devRounds[:k]
+	*res = RoundResult{
+		Round:        round,
+		Participants: participants,
+		PrevAccuracy: accuracy,
+		Devices:      devRounds,
+	}
+	for v := range res.Devices {
+		res.Devices[v] = DeviceRound{Index: int(sc.cand[v])}
+	}
+
+	// Post-selection actual loads, from per-(round, device) keyed
+	// streams: the surprise co-runner draw is a function of device
+	// identity, not of selection order.
+	for _, sel := range selections {
+		dr := &res.Devices[sel.Index]
+		dr.Selected = true
+		dr.Target = sel.Target
+		dr.Step = sel.Step
+		g := dr.Index
+		st := p.actRng.Seed(rng.Mix(p.actSeed, uint64(round), uint64(g)))
+		actual := e.cfg.Env.Interference.Actual(st, ctx.Devices[sel.Index].Load)
+		dr.CompSec, dr.CommSec = ctx.estimateWithLoad(sel.Index, sel.Target, sel.Step, actual)
+	}
+
+	// Straggler deadline from expected clean completion, as in the
+	// legacy path.
+	deadline := math.Inf(1)
+	if len(selections) > 0 {
+		clean := sc.clean[:0]
+		for _, sel := range selections {
+			comp, comm := ctx.CleanCompletionTime(sel.Index)
+			clean = append(clean, comp+comm)
+		}
+		sc.clean = clean
+		deadline = e.cfg.StragglerFactor * median(clean)
+	}
+	res.Deadline = deadline
+
+	roundSec := 0.0
+	for _, sel := range selections {
+		dr := &res.Devices[sel.Index]
+		total := dr.CompSec + dr.CommSec
+		if total <= deadline {
+			dr.UpdateFraction = 1
+			res.Kept++
+			if total > roundSec {
+				roundSec = total
+			}
+			continue
+		}
+		dr.Dropped = true
+		res.DroppedStragglers++
+		if traits.PartialUpdates {
+			dr.UpdateFraction = deadline / total
+			res.Kept++
+		}
+		if deadline > roundSec {
+			roundSec = deadline
+		}
+	}
+	if len(selections) == 0 {
+		roundSec = e.cfg.Env.Network.BaseLatencySec
+	}
+	res.RoundSec = roundSec
+
+	// Fleet-wide energy in O(participants): the idle baseline is the
+	// population idle draw for the round, minus the participants' own
+	// idle share, plus their measured round energy. Unselected
+	// candidates get their idle record filled for observability.
+	idleBase := p.fleetIdle * roundSec
+	for v := range res.Devices {
+		dr := &res.Devices[v]
+		if !dr.Selected {
+			dr.EnergyJ = power.IdleEnergy(ctx.Devices[v].Device.Spec.IdleWatts(), roundSec)
+		}
+	}
+	participantIdle := 0.0
+	for _, sel := range selections {
+		dr := &res.Devices[sel.Index]
+		ds := &ctx.Devices[sel.Index]
+		comp, comm := dr.CompSec, dr.CommSec
+		if dr.Dropped {
+			budget := math.Max(0, deadline-dr.CommSec)
+			comp = math.Min(comp, budget)
+			if !traits.PartialUpdates {
+				comm = math.Min(comm, deadline)
+			}
+		}
+		spec := ds.Device.Spec
+		setup := math.Min(spec.SetupSec, comp)
+		dr.EnergyJ = power.ParticipantRoundEnergy(spec, dr.Target, dr.Step, ds.Signal, power.Phases{
+			SetupSec:  setup,
+			CrunchSec: comp - setup,
+			CommSec:   comm,
+			RoundSec:  roundSec,
+		})
+		res.EnergyParticipantsJ += dr.EnergyJ
+		idle := spec.IdleWatts() * roundSec
+		participantIdle += idle
+		g := dr.Index
+		p.extraJ[g] += dr.EnergyJ - idle
+		p.lastStep[g] = int8(dr.Step)
+		p.lastTarget[g] = int8(dr.Target)
+	}
+	res.EnergyTotalJ = idleBase - participantIdle + res.EnergyParticipantsJ
+	p.idleSec += roundSec
+
+	res.Accuracy = e.advancePop(ctx, res, traits)
+	return ctx, res
+}
+
+// advancePop is the convergence step over the candidate view: the same
+// accuracy dynamics as convergenceModel.advance, with class coverage
+// from OR-ed packed masks and selection stability from the lazy
+// participation memory — O(kept updates) instead of O(fleet).
+func (e *Engine) advancePop(ctx *RoundContext, res *RoundResult, traits AggregationTraits) float64 {
+	m := e.conv
+	p := e.pop
+	acc := res.PrevAccuracy
+
+	mass, qualMass, stability := 0.0, 0.0, 0.0
+	var orMask uint64
+	keptCount := 0
+	for v := range res.Devices {
+		dr := &res.Devices[v]
+		if dr.UpdateFraction <= 0 {
+			continue
+		}
+		g := dr.Index
+		samples := float64(p.part.Samples[g])
+		if traits.NormalizedWeights {
+			samples = float64(ctx.Workload.Dataset.SamplesPerDevice)
+		}
+		w := dr.UpdateFraction * float64(ctx.Params.E) * samples
+		mass += w
+		q := float64(p.part.Quality[g])
+		if traits.DivergenceDamping > 0 {
+			q += traits.DivergenceDamping * (1 - q)
+			if q > 1 {
+				q = 1
+			}
+		}
+		qualMass += w * q
+		keptCount++
+		orMask |= p.part.Mask[g]
+		stability += p.emaAt(g, res.Round)
+		p.emaBump(g, res.Round)
+	}
+	if mass <= 0 {
+		return acc
+	}
+	meanQ := qualMass / mass
+	coverage := p.part.Coverage(orMask)
+	stability /= float64(keptCount)
+	if stability > 1 {
+		stability = 1
+	}
+	roundQ := meanQ + (1-meanQ)*stabilityWeight*stability*coverage
+	effCeiling := m.floor + plateau(roundQ)*(m.ceiling-m.floor)
+	rate := m.baseRate * math.Pow(mass/m.referenceMass, massExponent)
+	rate *= math.Pow(roundQ, qualityRateExp)
+	rate *= 1 + e.accRng.Normal(0, m.noiseSigma)
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 0.5 {
+		rate = 0.5
+	}
+	if effCeiling > acc {
+		acc += rate * (effCeiling - acc)
+	} else {
+		acc -= regressFraction * rate * (acc - effCeiling)
+	}
+	if acc < m.floor {
+		acc = m.floor
+	}
+	if acc > m.ceiling {
+		acc = m.ceiling
+	}
+	return acc
+}
+
+// PackedData exposes the population-mode data partition (nil for
+// legacy fleet configs), the cohort counterpart of Partition.
+func (e *Engine) PackedData() *data.Packed {
+	if e.pop == nil {
+		return nil
+	}
+	return e.pop.part
+}
+
+// PopulationMemoryBytes is the resident per-device state of the
+// population engine: the packed partition, the participation memory,
+// the last-action record, the cumulative-energy accumulator, and the
+// sampler's index array. Zero for legacy fleet configs.
+func (e *Engine) PopulationMemoryBytes() int {
+	p := e.pop
+	if p == nil {
+		return 0
+	}
+	perDevice := len(p.emaW)*4 + len(p.emaRound)*4 + len(p.lastStep) +
+		len(p.lastTarget) + len(p.extraJ)*8 + p.sampler.Len()*4
+	return p.part.MemoryBytes() + perDevice
+}
+
+// DeviceSnapshot reports population-mode per-device dynamic state: the
+// last executed action (step -1 if the device was never selected) and
+// the device's exact cumulative energy over all executed rounds,
+// reconstructed in O(1) from the packed accumulators. ok is false for
+// legacy fleet configs or out-of-range indices.
+func (e *Engine) DeviceSnapshot(i int) (step int, target device.Target, energyJ float64, ok bool) {
+	p := e.pop
+	if p == nil || i < 0 || i >= p.n {
+		return 0, 0, 0, false
+	}
+	idle := p.pop.Spec(i).IdleWatts() * p.idleSec
+	return int(p.lastStep[i]), device.Target(p.lastTarget[i]), p.extraJ[i] + idle, true
+}

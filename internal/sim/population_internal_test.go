@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"autofl/internal/rng"
+)
+
+func TestMedianEmpty(t *testing.T) {
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %v, want 0", got)
+	}
+	if got := median([]float64{3}); got != 3 {
+		t.Errorf("median of one = %v, want 3", got)
+	}
+}
+
+// TestLazyEMAMatchesEagerSweep pins the population path's lazy
+// participation memory against the legacy eager decay sweep: for any
+// participation pattern, the weight read at round t (before that
+// round's update) must match, and so must the floor-to-zero behavior.
+func TestLazyEMAMatchesEagerSweep(t *testing.T) {
+	const devices, rounds = 10, 200
+	p := &popState{
+		emaW:     make([]float32, devices),
+		emaRound: make([]int32, devices),
+	}
+	eager := make([]float64, devices)
+	s := rng.New(99)
+
+	for round := 1; round <= rounds; round++ {
+		// A sparse, shifting cohort: long gaps exercise the pow-decay
+		// path and the 1e-6 floor.
+		participating := make(map[int]bool)
+		for i := 0; i < devices; i++ {
+			if s.Bool(0.15) {
+				participating[i] = true
+			}
+		}
+		for g := range participating {
+			lazy := p.emaAt(g, round)
+			want := eager[g]
+			// float32 storage plus pow-vs-repeated-multiply rounding.
+			if math.Abs(lazy-want) > 1e-5*(1+want) {
+				t.Fatalf("round %d device %d: lazy %v, eager %v", round, g, lazy, want)
+			}
+			p.emaBump(g, round)
+		}
+		// The legacy sweep: decay everyone, bump participants, floor.
+		for i := range eager {
+			w := eager[i] * emaDecay
+			if participating[i] {
+				w += 1 - emaDecay
+			}
+			if w < 1e-6 {
+				w = 0
+			}
+			eager[i] = w
+		}
+	}
+}

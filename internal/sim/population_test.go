@@ -1,0 +1,268 @@
+package sim_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"autofl/internal/data"
+	"autofl/internal/device"
+	"autofl/internal/policy"
+	"autofl/internal/sim"
+	"autofl/internal/workload"
+)
+
+func mustPopulation(tb testing.TB, high, mid, low int) *device.Population {
+	tb.Helper()
+	p, err := device.NewPopulation(high, mid, low)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// tieredPopulation builds an n-device population in the paper's
+// 15/35/50 tier mix.
+func tieredPopulation(tb testing.TB, n int) *device.Population {
+	tb.Helper()
+	high, mid := n*15/100, n*35/100
+	return mustPopulation(tb, high, mid, n-high-mid)
+}
+
+func popConfig(tb testing.TB, n, sample, shards int, seed uint64) sim.Config {
+	tb.Helper()
+	return sim.Config{
+		Workload:   workload.CNNMNIST(),
+		Params:     workload.S3,
+		Population: tieredPopulation(tb, n),
+		Sample:     sample,
+		Shards:     shards,
+		Data:       data.NonIID50,
+		Env:        sim.EnvField(),
+		Seed:       seed,
+		MaxRounds:  60,
+	}
+}
+
+func mustEngine(tb testing.TB, cfg sim.Config) *sim.Engine {
+	tb.Helper()
+	e, err := sim.NewEngine(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// TestExhaustivePopulationMatchesFleet pins the tentpole's
+// byte-identity contract: a Population config with Sample == 0
+// materializes the fleet and reproduces the legacy path exactly.
+func TestExhaustivePopulationMatchesFleet(t *testing.T) {
+	base := stepperConfig(17, 80)
+	base.Fleet = device.NewFleet(6, 14, 20)
+	legacy := sim.New(base).Run(policy.NewRandom(5))
+
+	cohort := base
+	cohort.Fleet = nil
+	cohort.Population = mustPopulation(t, 6, 14, 20)
+	packed := sim.New(cohort).Run(policy.NewRandom(5))
+
+	if !reflect.DeepEqual(legacy, packed) {
+		t.Errorf("exhaustive population run differs from fleet run:\nfleet: %+v\npop:   %+v", legacy, packed)
+	}
+}
+
+func TestSampledPopulationDeterminism(t *testing.T) {
+	cfg := popConfig(t, 3000, 600, 0, 11)
+	a := mustEngine(t, cfg).Run(policy.NewRandom(3))
+	b := mustEngine(t, cfg).Run(policy.NewRandom(3))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same-seed sampled runs differ")
+	}
+}
+
+// TestSampledShardInvariance pins the keyed-stream design: the shard
+// count is a throughput knob, never an output knob. The pool exceeds
+// the serial threshold so the 4-shard run really runs parallel.
+func TestSampledShardInvariance(t *testing.T) {
+	serial := popConfig(t, 5000, 2048, 1, 23)
+	sharded := serial
+	sharded.Shards = 4
+	a := mustEngine(t, serial).Run(policy.NewRandom(3))
+	b := mustEngine(t, sharded).Run(policy.NewRandom(3))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Shards=1 and Shards=4 runs differ")
+	}
+}
+
+// TestSampleClampsToPopulation: a Sample beyond the population size
+// behaves exactly as Sample == n.
+func TestSampleClampsToPopulation(t *testing.T) {
+	over := popConfig(t, 500, 10_000, 1, 7)
+	exact := popConfig(t, 500, 500, 1, 7)
+	a := mustEngine(t, over).Run(policy.NewRandom(3))
+	b := mustEngine(t, exact).Run(policy.NewRandom(3))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("clamped oversized Sample differs from Sample == n")
+	}
+}
+
+// TestConfigValidation pins the typed-error surface of NewEngine: each
+// degenerate config fails with a ConfigError naming the field, instead
+// of an index panic rounds later.
+func TestConfigValidation(t *testing.T) {
+	pop := mustPopulation(t, 3, 7, 10)
+	cases := []struct {
+		name  string
+		cfg   sim.Config
+		field string
+	}{
+		{"empty fleet", sim.Config{Fleet: device.Fleet{}}, "Fleet"},
+		{"K exceeds fleet", sim.Config{
+			Fleet:  device.NewFleet(1, 1, 1),
+			Params: workload.GlobalParams{B: 20, E: 5, K: 5},
+		}, "Params.K"},
+		{"non-positive K", sim.Config{
+			Params: workload.GlobalParams{B: 20, E: 5, K: -1},
+		}, "Params.K"},
+		{"negative B", sim.Config{
+			Params: workload.GlobalParams{B: -1, E: 5, K: 5},
+		}, "Params"},
+		{"negative Sample", sim.Config{Population: pop, Sample: -1}, "Sample"},
+		{"negative Shards", sim.Config{Population: pop, Shards: -1}, "Shards"},
+		{"Sample without Population", sim.Config{Sample: 64}, "Sample"},
+		{"Sample below K", sim.Config{
+			Population: pop,
+			Params:     workload.GlobalParams{B: 20, E: 5, K: 10},
+			Sample:     5,
+		}, "Sample"},
+		{"K exceeds population", sim.Config{
+			Population: pop,
+			Params:     workload.GlobalParams{B: 20, E: 5, K: 50},
+		}, "Params.K"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sim.NewEngine(tc.cfg)
+			if err == nil {
+				t.Fatal("degenerate config accepted")
+			}
+			var ce *sim.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("error names field %q, want %q (%v)", ce.Field, tc.field, err)
+			}
+		})
+	}
+
+	if _, err := sim.NewEngine(sim.Config{
+		Fleet:      device.NewFleet(1, 1, 1),
+		Population: pop,
+	}); err == nil {
+		t.Error("Fleet+Population accepted; they are mutually exclusive")
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with an invalid config did not panic")
+		}
+	}()
+	sim.New(sim.Config{Fleet: device.Fleet{}})
+}
+
+// TestDeviceSnapshotConservesEnergy pins the O(1) cumulative-energy
+// reconstruction: summing DeviceSnapshot over the whole population
+// must equal the summed per-round fleet energy the trace reports.
+func TestDeviceSnapshotConservesEnergy(t *testing.T) {
+	cfg := popConfig(t, 400, 128, 1, 31)
+	cfg.MaxRounds = 40
+	eng := mustEngine(t, cfg)
+	res := eng.Run(policy.NewRandom(9))
+
+	var traced float64
+	for _, rt := range res.Trace {
+		traced += rt.EnergyJ
+	}
+	var snap float64
+	for i := 0; i < 400; i++ {
+		_, _, e, ok := eng.DeviceSnapshot(i)
+		if !ok {
+			t.Fatalf("DeviceSnapshot(%d) not ok", i)
+		}
+		snap += e
+	}
+	if diff := math.Abs(snap-traced) / traced; diff > 1e-9 {
+		t.Errorf("snapshot energy %v vs traced %v (rel diff %v)", snap, traced, diff)
+	}
+
+	if _, _, _, ok := eng.DeviceSnapshot(-1); ok {
+		t.Error("negative index reported ok")
+	}
+	if _, _, _, ok := eng.DeviceSnapshot(400); ok {
+		t.Error("out-of-range index reported ok")
+	}
+	legacy := sim.New(stepperConfig(1, 5))
+	if _, _, _, ok := legacy.DeviceSnapshot(0); ok {
+		t.Error("legacy fleet engine reported a population snapshot")
+	}
+}
+
+// TestPopulationRoundAllocs pins the zero-alloc steady state of the
+// sampled round path (serial shards: the parallel observe pass spawns
+// goroutines by design, which the benchmark covers instead).
+func TestPopulationRoundAllocs(t *testing.T) {
+	cfg := popConfig(t, 2000, 512, 1, 3)
+	cfg.MaxRounds = 1000
+	cfg.TargetAccuracy = 1 // unreachable: the run never ends early
+	run := mustEngine(t, cfg).Start(policy.NewRandom(9))
+	for i := 0; i < 3; i++ {
+		if !run.Step() {
+			t.Fatal("run ended during warmup")
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if !run.Step() {
+			t.Fatal("run ended mid-measurement")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state population round allocates %v objects, want 0", avg)
+	}
+}
+
+// TestMillionDeviceMemoryBudget is the tentpole's resident-state pin:
+// one million devices within 64 bytes each, measured both by the
+// engine's own accounting and by the heap.
+func TestMillionDeviceMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-device smoke skipped in -short")
+	}
+	const n = 1_000_000
+	cfg := popConfig(t, n, 4096, 0, 5)
+	cfg.Data = data.IdealIID // partition generation dominates otherwise
+	cfg.MaxRounds = 3
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	eng := mustEngine(t, cfg)
+	res := eng.Run(policy.NewRandom(1))
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	if res.Rounds != 3 {
+		t.Fatalf("executed %d rounds, want 3", res.Rounds)
+	}
+	if got := eng.PopulationMemoryBytes(); got > 48*n {
+		t.Errorf("accounted resident state %d B = %.1f B/device, budget 48", got, float64(got)/n)
+	}
+	if delta := int64(after.HeapAlloc) - int64(before.HeapAlloc); delta > 64*n {
+		t.Errorf("heap grew %d B = %.1f B/device, budget 64", delta, float64(delta)/n)
+	}
+	runtime.KeepAlive(eng)
+}

@@ -57,8 +57,27 @@ type Config struct {
 	// Params is the (B, E, K) tuple of Table 5.
 	Params workload.GlobalParams
 	// Fleet is the candidate device population (defaults to the
-	// paper's 200-device fleet).
+	// paper's 200-device fleet). Mutually exclusive with Population.
 	Fleet device.Fleet
+	// Population is the cohort form of the fleet: an archetype table
+	// plus packed per-device state, sized for million-device
+	// populations. With Sample == 0 the engine materializes it into a
+	// Fleet and runs the exhaustive path — byte-identical to the
+	// equivalent Fleet config; with Sample > 0 it runs the sampled
+	// population path (see population.go).
+	Population *device.Population
+	// Sample is the per-round candidate-pool size in population mode:
+	// each round the engine draws Sample candidates uniformly from the
+	// population and policies select K participants among them, so
+	// candidate scoring is O(Sample) rather than O(fleet). It must be
+	// at least Params.K; values above the population size are clamped.
+	// Zero selects the exhaustive path.
+	Sample int
+	// Shards is the population path's observe-pass parallelism; 0
+	// selects min(GOMAXPROCS, 16). Results are independent of the
+	// shard count (all per-device draws are keyed by identity), so
+	// Shards is purely a throughput knob.
+	Shards int
 	// Data is the data-heterogeneity scenario.
 	Data data.Scenario
 	// Env is the runtime-variance environment.
@@ -99,8 +118,11 @@ func (c *Config) withDefaults() Config {
 	if out.Params == (workload.GlobalParams{}) {
 		out.Params = workload.S3
 	}
-	if out.Fleet == nil {
+	if out.Fleet == nil && out.Population == nil {
 		out.Fleet = device.DefaultFleet()
+	}
+	if out.Population != nil && out.Sample > out.Population.Len() {
+		out.Sample = out.Population.Len()
 	}
 	if out.Data.Name == "" {
 		out.Data = data.IdealIID
@@ -147,11 +169,17 @@ type RoundContext struct {
 	// Workload and Params echo the run configuration.
 	Workload *workload.Model
 	Params   workload.GlobalParams
-	// Devices holds one state per fleet device, indexed like the
-	// fleet.
+	// Devices holds one state per candidate device. On the exhaustive
+	// path it is indexed like the fleet; on the sampled population
+	// path it is the round's candidate view — Devices[i].Device.ID is
+	// the global device index — and selection indices address the
+	// view.
 	Devices []DeviceState
 
 	cfg *Config
+	// fleetIdle caches the fleet-wide idle draw for the round (see
+	// FleetIdleWatts); 0 means not yet computed.
+	fleetIdle float64
 }
 
 // Selection is one participant choice: a device plus its execution
@@ -453,7 +481,14 @@ func (ctx *RoundContext) CleanCompletionTime(idx int) (compSec, commSec float64)
 
 // FleetIdleWatts is the summed idle draw of all devices, used by
 // oracle policies to weigh round duration against participant energy.
+// The engine caches it per round (the sum is loop-order identical to
+// computing it on demand, so cached and uncached reads agree to the
+// bit); on the sampled population path the cached value covers the
+// whole population, not just the candidate view.
 func (ctx *RoundContext) FleetIdleWatts() float64 {
+	if ctx.fleetIdle > 0 {
+		return ctx.fleetIdle
+	}
 	total := 0.0
 	for i := range ctx.Devices {
 		total += ctx.Devices[i].Device.Spec.IdleWatts()
@@ -495,6 +530,9 @@ type Engine struct {
 	accRng    *rng.Stream
 	partition []data.DeviceData
 	conv      *convergenceModel
+	// pop holds the sampled-population state; nil on the exhaustive
+	// path (see population.go).
+	pop *popState
 
 	// scratch holds the Run loop's reusable round buffers; the
 	// exported RunRound allocates fresh ones per call so its returned
@@ -511,12 +549,45 @@ type roundScratch struct {
 	clean []float64   // per-participant clean completion times
 	seen  []bool      // sanitize dedup, indexed by device
 	sels  []Selection // sanitized selections
+
+	// Population-mode buffers: the candidate pool and the backing
+	// arrays the candidate view's Device/Data pointers point into.
+	cand []int32
+	devs []device.Device
+	dd   []data.DeviceData
 }
 
 // New builds an engine. The device data partition is drawn once (local
-// datasets are static across rounds, as in the paper).
+// datasets are static across rounds, as in the paper). It panics on a
+// degenerate config; NewEngine returns the *ConfigError instead.
 func New(cfg Config) *Engine {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NewEngine builds an engine, rejecting degenerate configurations
+// (empty fleet, K larger than the fleet, negative sample or shard
+// counts, a candidate sample smaller than K) with a *ConfigError.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Fleet != nil && cfg.Population != nil {
+		return nil, configErrf("Population", "Fleet and Population are mutually exclusive; set one")
+	}
 	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.Population != nil && c.Sample == 0 {
+		// Exhaustive population: materialize the cohort fleet and run
+		// the legacy path — byte-identical to the equivalent Fleet
+		// config.
+		c.Fleet = c.Population.Fleet()
+	}
+	// The fork order (partition, environment, accuracy) is part of the
+	// reproducibility contract: it fixes every stream's sequence for a
+	// given seed.
 	root := rng.New(c.Seed)
 	partRng := root.Fork()
 	e := &Engine{
@@ -524,11 +595,15 @@ func New(cfg Config) *Engine {
 		streams: root,
 		envRng:  root.Fork(),
 		accRng:  root.Fork(),
-		partition: data.Partition(partRng, c.Data, len(c.Fleet),
-			c.Workload.Dataset.Classes, c.Workload.Dataset.SamplesPerDevice),
+	}
+	if c.Population != nil && c.Sample > 0 {
+		e.pop = newPopState(&e.cfg, partRng, e.envRng, root)
+	} else {
+		e.partition = data.Partition(partRng, c.Data, len(c.Fleet),
+			c.Workload.Dataset.Classes, c.Workload.Dataset.SamplesPerDevice)
 	}
 	e.conv = newConvergenceModel(&e.cfg)
-	return e
+	return e, nil
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -564,6 +639,14 @@ func (e *Engine) observe(sc *roundScratch, round int, accuracy float64) *RoundCo
 			Data:          &e.partition[i],
 		}
 	}
+	// Cache the fleet idle draw once per round. The loop order matches
+	// the on-demand FleetIdleWatts sum, so the cached value is
+	// bit-identical to what per-call recomputation produced before.
+	idle := 0.0
+	for i := range devices {
+		idle += devices[i].Device.Spec.IdleWatts()
+	}
+	sc.ctx.fleetIdle = idle
 	return &sc.ctx
 }
 
@@ -580,6 +663,9 @@ func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext,
 // runRound is the round engine proper, operating on caller-provided
 // scratch buffers.
 func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratch) (*RoundContext, *RoundResult) {
+	if e.pop != nil {
+		return e.runRoundPop(p, round, accuracy, sc)
+	}
 	ctx := e.observe(sc, round, accuracy)
 	selections := sanitize(sc, ctx, p.Select(ctx))
 	participants := len(selections)

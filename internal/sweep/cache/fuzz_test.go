@@ -1,0 +1,84 @@
+package cache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStore lays down a cache directory whose manifest matches sig —
+// so Open takes the load path — with raw as the JSONL entry store.
+func writeStore(tb testing.TB, sig Signature, raw []byte) string {
+	tb.Helper()
+	dir := tb.TempDir()
+	m, err := json.Marshal(manifest{Version: formatVersion, GridSeed: sig.GridSeed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), append(m, '\n'), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, resultsName), raw, 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	return dir
+}
+
+// FuzzLoad feeds arbitrary bytes to the JSONL entry loader. Open's
+// contract is that a corrupt store never panics and never fails the
+// open — torn lines, foreign digests, and newline-free garbage runs
+// all degrade to skipped entries.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("{}\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte(`{"digest":"00","rounds":5,"result":{}}` + "\n"))
+	f.Add([]byte(`{"digest":`)) // torn final line
+	f.Add([]byte(`{"digest":"00","trace":{"v":99}}` + "\n"))
+	f.Add([]byte(strings.Repeat("x", 1<<16)))                 // newline-free garbage
+	f.Add([]byte("{}\n{}\n" + `{"rounds":-1,"result":{}}\n`)) // duplicate digests, bad horizon
+	f.Add([]byte("\x00\xff\xfe\n"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sig := Signature{GridSeed: 42, Rounds: 100}
+		dir := writeStore(t, sig, raw)
+		c, err := Open(dir, sig)
+		if err != nil {
+			t.Fatalf("Open on corrupt store: %v", err)
+		}
+		if c.Len() < 0 {
+			t.Fatalf("negative Len %d", c.Len())
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// FuzzManifest feeds arbitrary bytes to the manifest check. A corrupt
+// or mismatched manifest must reset the store, never panic or error.
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":2,"grid_seed":42}`))
+	f.Add([]byte(`{"version":1,"grid_seed":42}`))
+	f.Add([]byte(`{"version":2,"grid_seed":7}`))
+	f.Add([]byte(`{"version":"2"}`))
+	f.Add([]byte("\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Open(dir, Signature{GridSeed: 42, Rounds: 100})
+		if err != nil {
+			t.Fatalf("Open with corrupt manifest: %v", err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}

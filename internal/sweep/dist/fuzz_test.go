@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+
+	"autofl/internal/sweep"
+)
+
+// frame builds a raw wire frame from an explicit length prefix and
+// body, so seeds can lie about the length.
+func frame(n uint32, body []byte) []byte {
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, n)
+	copy(buf[4:], body)
+	return buf
+}
+
+// validFrame encodes a message through the real writer.
+func validFrame(tb testing.TB, m message) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, m); err != nil {
+		tb.Fatalf("writeMessage: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadMessage throws arbitrary byte streams at the frame decoder.
+// The decoder must never panic and must never trust the advertised
+// length for more than the bytes that actually arrive; any frame it
+// does accept must survive a write/read round trip.
+func FuzzReadMessage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})         // truncated header
+	f.Add(frame(0, nil))              // zero-length body
+	f.Add(frame(5, []byte("hello")))  // length right, body not JSON
+	f.Add(frame(64<<20, nil))         // hostile max-length claim, no body
+	f.Add(frame(^uint32(0), nil))     // length beyond the bound
+	f.Add(frame(1<<20, []byte("{}"))) // big claim, tiny body
+	f.Add(frame(2, []byte("{}x")))    // trailing junk after the frame
+	f.Add(validFrame(f, message{Kind: kindHello, Hello: &Hello{Version: ProtocolVersion, Capacity: 4}}))
+	f.Add(validFrame(f, message{Kind: kindJob, Job: &Job{ID: 7, Seed: 11, Rounds: 100, Cell: sweep.Cell{}}}))
+	f.Add(validFrame(f, message{Kind: kindResult, Result: &JobResult{ID: 7, Err: "boom"}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := readMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeMessage(&buf, m); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if _, err := readMessage(&buf); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+	})
+}
+
+// TestReadMessageHostileLength pins the progressive-allocation fix: a
+// frame whose prefix claims the full 64 MB bound but delivers almost
+// no body must fail fast without committing the advertised allocation.
+func TestReadMessageHostileLength(t *testing.T) {
+	hostile := frame(maxFrame, []byte("{}"))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := readMessage(bytes.NewReader(hostile))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated hostile frame decoded without error")
+	}
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 4*frameAllocChunk {
+		t.Fatalf("hostile length prefix allocated %d bytes; want bounded by the %d-byte chunk", delta, frameAllocChunk)
+	}
+}
+
+// TestReadMessageOverMaxFrame pins the existing bound: a length prefix
+// past maxFrame is rejected on the header alone.
+func TestReadMessageOverMaxFrame(t *testing.T) {
+	if _, err := readMessage(bytes.NewReader(frame(maxFrame+1, nil))); err == nil {
+		t.Fatal("over-bound frame decoded without error")
+	}
+}

@@ -34,6 +34,7 @@
 package dist
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -183,6 +184,14 @@ func ParseWorkerList(arg string) ([]string, error) {
 	return out, nil
 }
 
+// frameAllocChunk bounds the body buffer's up-front allocation. The
+// advertised length is untrusted until the bytes actually arrive: a
+// corrupt or hostile prefix claiming the full 64 MB bound on a
+// short-lived connection must not commit a 64 MB allocation before a
+// single body byte is read, so the buffer starts at one chunk and
+// grows only as data flows.
+const frameAllocChunk = 1 << 20
+
 // readMessage reads one length-prefixed frame and decodes it.
 func readMessage(r io.Reader) (message, error) {
 	var hdr [4]byte
@@ -193,12 +202,16 @@ func readMessage(r io.Reader) (message, error) {
 	if n > maxFrame {
 		return message{}, fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte bound", n, maxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	var buf bytes.Buffer
+	buf.Grow(int(min(n, frameAllocChunk)))
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // ReadFull's contract for a truncated body
+		}
 		return message{}, fmt.Errorf("dist: short frame: %w", err)
 	}
 	var m message
-	if err := json.Unmarshal(body, &m); err != nil {
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
 		return message{}, fmt.Errorf("dist: decode frame: %w", err)
 	}
 	return m, nil

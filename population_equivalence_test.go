@@ -1,0 +1,119 @@
+package autofl
+
+import (
+	"reflect"
+	"testing"
+
+	"autofl/internal/device"
+	"autofl/internal/sim"
+)
+
+// TestPopulationExhaustiveEquivalence is the tentpole's byte-identity
+// property test at full breadth: across every environment and every
+// policy, a cohort Population run in exhaustive mode (Sample == 0)
+// produces a Result identical — field for field, including the full
+// per-round trace — to the legacy pointer-fleet run it materializes.
+// The population here is the paper's default 200-device tier mix, so
+// the legacy side is exactly the engine's default fleet.
+func TestPopulationExhaustiveEquivalence(t *testing.T) {
+	for _, env := range Environments() {
+		for _, p := range Policies() {
+			t.Run(string(env)+"/"+string(p), func(t *testing.T) {
+				s := Scenario{
+					Workload:  CNNMNIST,
+					Setting:   S3,
+					Data:      NonIID50,
+					Env:       env,
+					Seed:      7,
+					MaxRounds: 25,
+				}
+				cfg, err := s.simConfig()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				polFleet, err := s.policy(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fleetRes := sim.New(cfg).Run(polFleet)
+
+				pop, err := device.NewPopulation(
+					device.DefaultHighCount, device.DefaultMidCount, device.DefaultLowCount)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfgPop := cfg
+				cfgPop.Fleet = nil
+				cfgPop.Population = pop
+				polPop, err := s.policy(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				popRes := sim.New(cfgPop).Run(polPop)
+
+				if !reflect.DeepEqual(fleetRes, popRes) {
+					t.Errorf("population run diverges from fleet run under %s/%s", env, p)
+				}
+			})
+		}
+	}
+}
+
+// TestScaledFleetScenario drives the root-level population plumbing:
+// a Scenario with a FleetSpec runs end to end in sampled mode, and its
+// result is reproducible and shard-invariant through the public API.
+func TestScaledFleetScenario(t *testing.T) {
+	base := Scenario{
+		Workload:  CNNMNIST,
+		Setting:   S3,
+		Data:      NonIID50,
+		Env:       EnvField,
+		Seed:      3,
+		MaxRounds: 20,
+		Fleet:     ScaledFleet(50_000, 1500),
+	}
+	r1, err := base.Run(PolicyAutoFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := base.Run(PolicyAutoFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("sampled scenario runs are not reproducible")
+	}
+
+	sharded := base
+	f := *base.Fleet
+	f.Shards = 2
+	sharded.Fleet = &f
+	r3, err := sharded.Run(PolicyAutoFL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Error("shard count changed the scenario result")
+	}
+	if r1.Rounds != 20 {
+		t.Errorf("executed %d rounds, want 20", r1.Rounds)
+	}
+}
+
+// TestFleetSpecValidation: degenerate FleetSpecs surface as errors at
+// Open/Run, not as engine panics.
+func TestFleetSpecValidation(t *testing.T) {
+	s := Scenario{Seed: 1, MaxRounds: 5, Fleet: &FleetSpec{High: 0, Mid: 0, Low: 0}}
+	if _, err := s.Run(PolicyRandom); err == nil {
+		t.Error("all-zero FleetSpec ran without error")
+	}
+	neg := Scenario{Seed: 1, MaxRounds: 5, Fleet: &FleetSpec{High: -3, Mid: 1, Low: 1}}
+	if _, err := neg.Run(PolicyRandom); err == nil {
+		t.Error("negative tier count ran without error")
+	}
+	tiny := Scenario{Seed: 1, MaxRounds: 5, Fleet: &FleetSpec{High: 1, Mid: 1, Low: 1, Sample: 3}}
+	if _, err := tiny.Run(PolicyRandom); err == nil {
+		t.Error("Sample below K ran without error")
+	}
+}

@@ -61,7 +61,11 @@ func Open(s Scenario, p Policy) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess := &Session{policy: p, run: sim.New(cfg).Start(pol)}
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{policy: p, run: eng.Start(pol)}
 	sess.rewards, _ = pol.(interface{ RewardTrace() []float64 })
 	return sess, nil
 }
