@@ -114,6 +114,8 @@ func main() {
 		register   = flag.String("register", "", "register with a sweep daemon's worker registry at this address (see autofl-sweepd -registry) and serve its cells; re-dials with backoff on disconnect")
 		name       = flag.String("name", "", "worker label advertised to the daemon's registry (with -register; default: the connection's remote address)")
 		server     = flag.String("server", "", "submit the grid to a sweep daemon at this base URL (e.g. http://host:7170) instead of executing locally")
+		cellTO     = flag.Duration("cell-timeout", 0, "with -workers: bound one cell's remote execution; a worker holding a cell past it is evicted and the cell re-queued (0 = no bound)")
+		budget     = flag.Int("retry-budget", 0, "with -workers: re-queues a faulted cell may consume before being quarantined with a per-cell error (0 = default 3, negative = none)")
 	)
 	flag.Parse()
 
@@ -209,6 +211,9 @@ func main() {
 		}
 		runOpts.Workers = addrs
 		runOpts.WorkerCells = make(map[string]int)
+		runOpts.CellTimeout = *cellTO
+		runOpts.RetryBudget = *budget
+		runOpts.Faults = &autofl.SweepFaults{}
 	}
 	if *progress {
 		runOpts.OnProgress = func(p sweep.Progress) {
@@ -272,6 +277,9 @@ func main() {
 		for _, a := range addrs {
 			fmt.Fprintf(os.Stderr, " %s=%d", a, runOpts.WorkerCells[a])
 		}
+	}
+	if f := runOpts.Faults; f != nil && (f.Requeues > 0 || f.Quarantined > 0) {
+		fmt.Fprintf(os.Stderr, " | faults: %d requeues, %d quarantined", f.Requeues, f.Quarantined)
 	}
 	fmt.Fprintln(os.Stderr)
 
@@ -399,6 +407,10 @@ func runClient(ctx context.Context, baseURL string, grid sweep.Grid, rounds int,
 		for _, l := range labels {
 			fmt.Fprintf(os.Stderr, " %s=%d", l, final.Workers[l])
 		}
+	}
+	if final.Requeues > 0 || final.Quarantined > 0 || final.FailedCells > 0 {
+		fmt.Fprintf(os.Stderr, " | faults: %d requeues, %d quarantined, %d failed cells",
+			final.Requeues, final.Quarantined, final.FailedCells)
 	}
 	fmt.Fprintln(os.Stderr)
 	if final.State != svc.StateDone {

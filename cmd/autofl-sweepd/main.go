@@ -66,6 +66,10 @@ func main() {
 		local         = flag.Bool("local", false, "execute cells in-process instead of on workers")
 		parallel      = flag.Int("parallel", 0, "in-process pool size with -local (0 = GOMAXPROCS)")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long a drain lets running grids finish before canceling them")
+		hbInterval    = flag.Duration("heartbeat-interval", 0, "worker-link heartbeat ping interval (0 = default 5s, negative = disabled)")
+		hbTimeout     = flag.Duration("heartbeat-timeout", 0, "total worker silence tolerated before eviction (0 = 4x the interval)")
+		cellTimeout   = flag.Duration("cell-timeout", 0, "bound one cell's remote execution; a worker holding a cell past it is evicted and the cell re-queued (0 = no bound)")
+		retryBudget   = flag.Int("retry-budget", 0, "re-queues a faulted cell may consume before quarantine (0 = default 3, negative = none)")
 	)
 	flag.Parse()
 
@@ -75,10 +79,13 @@ func main() {
 		CacheDir:      *cacheDir,
 		QueueLimit:    *queueLimit,
 		MaxConcurrent: *maxConcurrent,
+		CellTimeout:   *cellTimeout,
+		RetryBudget:   *retryBudget,
 	}
 	var reg *svc.Registry
 	if !*local {
 		reg = svc.NewRegistry()
+		reg.Links = dist.LinkOptions{HeartbeatInterval: *hbInterval, HeartbeatTimeout: *hbTimeout}
 		addr, err := reg.Listen(*registry)
 		if err != nil {
 			fatalf("registry: %v", err)
@@ -106,6 +113,9 @@ func main() {
 	}
 	if n := len(service.Jobs()); n > 0 {
 		fmt.Fprintf(os.Stderr, "autofl-sweepd: resumed %d persisted jobs\n", n)
+	}
+	if n := service.ResumedJobs(); n > 0 {
+		fmt.Fprintf(os.Stderr, "autofl-sweepd: journal: recovered %d jobs interrupted by the previous daemon\n", n)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -1,0 +1,366 @@
+// Package chaos is the fault-injection harness for the repo's
+// sockets: a net.Conn / net.Listener wrapper that injects failures —
+// refused connects, mid-frame drops, indefinite hangs, slow-drip
+// reads and writes — from a scriptable, seeded schedule. Tests drive
+// the exact failure they mean to pin (connection #2 freezes after its
+// first write; connection #0 drops ten bytes into a frame) instead of
+// hoping a timing race reproduces it, so the dist/svc hardening paths
+// are exercised in ordinary `go test` runs with no sleeps and no real
+// flakiness.
+//
+// A frozen connection honors deadlines: a Read or Write that hangs
+// returns os.ErrDeadlineExceeded once the deadline recorded by
+// SetDeadline/SetReadDeadline/SetWriteDeadline passes, and unblocks
+// with net.ErrClosed when the connection closes. Every blocked
+// operation therefore has two deterministic exits, which is what
+// makes hangs safe to inject under goroutine-leak checks.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// errDropped surfaces from operations on a connection the schedule
+// hard-closed.
+var errDropped = errors.New("chaos: connection dropped by schedule")
+
+// Plan scripts the faults of one connection. The zero value is a
+// clean connection. Operation counts are 1-based: DropAfterWrites: 3
+// means the third Write finds the connection dead.
+type Plan struct {
+	// Refuse rejects the connection at establishment: a Listener
+	// closes it immediately after accept, a Dialer fails the dial
+	// without dialing — the partition-on-dial fault.
+	Refuse bool
+	// Blackhole establishes the connection and then hangs every
+	// operation: the peer sees a successful connect that never
+	// speaks and never reads.
+	Blackhole bool
+	// FreezeAfterReads, when > 0, freezes the connection at its Nth
+	// Read: that read and every later operation in both directions
+	// hang (until a deadline passes or the connection closes) — the
+	// frozen-process fault a SIGSTOP'd worker exhibits.
+	FreezeAfterReads int
+	// FreezeAfterWrites is FreezeAfterReads for the write side.
+	FreezeAfterWrites int
+	// DropAfterReads, when > 0, hard-closes the connection at its
+	// Nth Read.
+	DropAfterReads int
+	// DropAfterWrites, when > 0, hard-closes the connection at its
+	// Nth Write, before any of its bytes are written.
+	DropAfterWrites int
+	// DropAfterBytes, when > 0, bounds total bytes written: the
+	// write that would cross the budget writes only up to it and
+	// then hard-closes — a drop mid-frame, the truncation a crashing
+	// peer leaves behind.
+	DropAfterBytes int
+	// ReadDelay/WriteDelay sleep before each operation — the
+	// slow-drip fault.
+	ReadDelay, WriteDelay time.Duration
+	// ChunkBytes, when > 0, splits writes into chunks of at most
+	// this many bytes, applying WriteDelay before each, so one frame
+	// tears across many small segments.
+	ChunkBytes int
+}
+
+// clean reports whether the plan injects nothing.
+func (p Plan) clean() bool { return p == Plan{} }
+
+// Schedule assigns a Plan to each connection, keyed by establishment
+// order (0-based).
+type Schedule interface {
+	PlanFor(i int) Plan
+}
+
+// Script scripts connections directly: connection i gets Script[i];
+// connections past the end are clean.
+type Script []Plan
+
+// PlanFor implements Schedule.
+func (s Script) PlanFor(i int) Plan {
+	if i >= 0 && i < len(s) {
+		return s[i]
+	}
+	return Plan{}
+}
+
+// Func adapts a function to a Schedule.
+type Func func(i int) Plan
+
+// PlanFor implements Schedule.
+func (f Func) PlanFor(i int) Plan { return f(i) }
+
+// Seeded derives each connection's plan from a seed: connection i
+// draws one of plans with probability faultFrac (staying clean
+// otherwise) via a splitmix64 hash of (seed, i). The same (seed, i)
+// always yields the same plan, independent of what other connections
+// do, so a chaos run is reproducible from its seed alone.
+func Seeded(seed uint64, faultFrac float64, plans ...Plan) Schedule {
+	return Func(func(i int) Plan {
+		if faultFrac <= 0 || len(plans) == 0 {
+			return Plan{}
+		}
+		h := splitmix(seed ^ splitmix(uint64(i)+0x9e3779b97f4a7c15))
+		if float64(h>>11)/(1<<53) >= faultFrac {
+			return Plan{}
+		}
+		return plans[int((h>>3)%uint64(len(plans)))]
+	})
+}
+
+// splitmix is the splitmix64 finalizer — a tiny, dependency-free
+// avalanche hash for the seeded schedule.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Conn is one connection under an injection plan.
+type Conn struct {
+	inner net.Conn
+	plan  Plan
+
+	mu      sync.Mutex
+	reads   int
+	writes  int
+	written int
+	frozen  bool
+	rdl     time.Time
+	wdl     time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Wrap applies a plan to an established connection.
+func Wrap(inner net.Conn, p Plan) *Conn {
+	return &Conn{inner: inner, plan: p, closed: make(chan struct{})}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	c.reads++
+	if c.plan.Blackhole || (c.plan.FreezeAfterReads > 0 && c.reads >= c.plan.FreezeAfterReads) {
+		c.frozen = true
+	}
+	frozen := c.frozen
+	drop := c.plan.DropAfterReads > 0 && c.reads >= c.plan.DropAfterReads
+	dl := c.rdl
+	delay := c.plan.ReadDelay
+	c.mu.Unlock()
+	if frozen {
+		return 0, c.stall(dl)
+	}
+	if drop {
+		c.inner.Close()
+		return 0, errDropped
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.inner.Read(b)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	if c.plan.Blackhole || (c.plan.FreezeAfterWrites > 0 && c.writes >= c.plan.FreezeAfterWrites) {
+		c.frozen = true
+	}
+	frozen := c.frozen
+	drop := c.plan.DropAfterWrites > 0 && c.writes >= c.plan.DropAfterWrites
+	allowed, truncate := len(b), false
+	if c.plan.DropAfterBytes > 0 {
+		if remaining := c.plan.DropAfterBytes - c.written; remaining < allowed {
+			allowed, truncate = max(remaining, 0), true
+		}
+	}
+	c.written += allowed
+	dl := c.wdl
+	c.mu.Unlock()
+	if frozen {
+		return 0, c.stall(dl)
+	}
+	if drop {
+		c.inner.Close()
+		return 0, errDropped
+	}
+	n, err := c.write(b[:allowed])
+	if err != nil {
+		return n, err
+	}
+	if truncate {
+		c.inner.Close()
+		return n, errDropped
+	}
+	return n, nil
+}
+
+// write forwards one write, chunked and delayed per the plan.
+func (c *Conn) write(b []byte) (int, error) {
+	chunk := c.plan.ChunkBytes
+	if chunk <= 0 {
+		chunk = len(b)
+	}
+	total := 0
+	for {
+		if d := c.plan.WriteDelay; d > 0 {
+			time.Sleep(d)
+		}
+		n, err := c.inner.Write(b[:min(chunk, len(b))])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if b = b[n:]; len(b) == 0 {
+			return total, nil
+		}
+	}
+}
+
+// stall blocks a frozen operation until the connection closes or the
+// deadline recorded when the operation began passes. A deadline set
+// while the operation is already blocked is not observed — close the
+// connection to unblock it, which is what the hardened teardown
+// paths do anyway.
+func (c *Conn) stall(dl time.Time) error {
+	var expire <-chan time.Time
+	if !dl.IsZero() {
+		d := time.Until(dl)
+		if d <= 0 {
+			return os.ErrDeadlineExceeded
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	case <-expire:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// Close implements net.Conn, unblocking any stalled operation.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl, c.wdl = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}
+
+// Listener wraps a net.Listener, applying the schedule to accepted
+// connections in accept order. A Refuse plan closes its connection
+// immediately (still consuming a schedule slot) and keeps accepting.
+type Listener struct {
+	net.Listener
+	sched Schedule
+
+	mu   sync.Mutex
+	next int
+}
+
+// NewListener wraps ln under the schedule (nil leaves every
+// connection clean).
+func NewListener(ln net.Listener, s Schedule) *Listener {
+	return &Listener{Listener: ln, sched: s}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		i := l.next
+		l.next++
+		l.mu.Unlock()
+		var p Plan
+		if l.sched != nil {
+			p = l.sched.PlanFor(i)
+		}
+		if p.Refuse {
+			conn.Close()
+			continue
+		}
+		if p.clean() {
+			return conn, nil
+		}
+		return Wrap(conn, p), nil
+	}
+}
+
+// Dialer dials with the schedule applied in dial order — the client
+// side's fault seam (partition on dial, blackholed connects).
+type Dialer struct {
+	// Schedule assigns plans by dial order (nil = every dial clean).
+	Schedule Schedule
+	// Timeout bounds each dial (0 = no bound).
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	next int
+}
+
+// Dial establishes one connection under the next scheduled plan.
+func (d *Dialer) Dial(network, addr string) (net.Conn, error) {
+	d.mu.Lock()
+	i := d.next
+	d.next++
+	d.mu.Unlock()
+	var p Plan
+	if d.Schedule != nil {
+		p = d.Schedule.PlanFor(i)
+	}
+	if p.Refuse {
+		return nil, fmt.Errorf("chaos: dial %s refused by schedule (conn %d)", addr, i)
+	}
+	conn, err := net.DialTimeout(network, addr, d.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	if p.clean() {
+		return conn, nil
+	}
+	return Wrap(conn, p), nil
+}

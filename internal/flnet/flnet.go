@@ -278,6 +278,10 @@ func (s *Server) Serve() error {
 		// Step 2: broadcast the global model to the selected devices.
 		for _, id := range selected {
 			cc := s.clients[id]
+			// A device that stopped reading must fail the round's
+			// broadcast within the round budget, not wedge the server
+			// behind a full socket buffer for good.
+			cc.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout))
 			err := cc.enc.Encode(message{
 				Kind:   kindAssign,
 				Round:  round,
@@ -348,6 +352,7 @@ func (s *Server) Serve() error {
 
 	// Shut the cluster down with the final model.
 	for _, cc := range s.clients {
+		cc.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout))
 		cc.enc.Encode(message{Kind: kindDone, Params: s.params})
 		cc.conn.Close()
 	}

@@ -13,6 +13,21 @@ import (
 	"autofl/internal/sweep/cache"
 )
 
+// DefaultRetryBudget is the number of re-queues a single cell may
+// consume before being quarantined (see dispatch.fault). Three
+// re-queues tolerate a rolling restart of a small fleet while still
+// containing a poison cell — one that crashes or hangs every worker
+// it lands on — after four attempts.
+const DefaultRetryBudget = 3
+
+// defaultRequeueBackoff is the base of the exponential re-queue
+// backoff; maxRequeueBackoff caps it so a deep budget never strands a
+// cell for minutes.
+const (
+	defaultRequeueBackoff = 100 * time.Millisecond
+	maxRequeueBackoff     = 5 * time.Second
+)
+
 // RemoteExecutor is the one-shot distributed execution strategy: a
 // sweep.Executor that dials Worker processes and farms tasks to them,
 // pipelining up to each worker's advertised capacity. Delivery is
@@ -21,6 +36,14 @@ import (
 // result per cell index, and cache commits dedup by cell digest, so a
 // re-executed cell (whose outcome is identical anyway, by the per-cell
 // seed derivation) changes nothing.
+//
+// Failure containment: a hung worker is evicted by the link's
+// heartbeat (and, when CellTimeout is set, by the per-cell execution
+// deadline) exactly like a dead one. A cell that keeps killing its
+// workers is re-queued with exponential backoff until its retry
+// budget runs out, then quarantined — the sweep completes with an
+// explicit per-cell error instead of livelocking. See Requeues and
+// Quarantined for the audit counters.
 //
 // With a Cache attached, the coordinator serves cached cells locally —
 // including shorter-horizon requests answered by trace-prefix replay —
@@ -51,8 +74,29 @@ type RemoteExecutor struct {
 	// DialTimeout bounds the dial and version handshake per worker
 	// (default 10s).
 	DialTimeout time.Duration
+	// Link tunes each worker connection's liveness machinery — frame
+	// write deadlines, heartbeat interval and timeout. The zero value
+	// selects the LinkOptions defaults, with DialTimeout doubling as
+	// the handshake bound.
+	Link LinkOptions
+	// RetryBudget is the number of re-queues a single cell may consume
+	// — across all workers — before it is quarantined with an explicit
+	// error instead of retried (0 selects DefaultRetryBudget; negative
+	// quarantines on the first fault).
+	RetryBudget int
+	// RequeueBackoff is the base of the exponential backoff applied
+	// from a cell's second re-queue on (default 100ms, capped at 5s).
+	// The first re-queue is immediate: a lone fault is overwhelmingly
+	// a worker death, not a poison cell.
+	RequeueBackoff time.Duration
+	// CellTimeout bounds one cell's remote execution. A link holding a
+	// cell past the bound is torn down — the worker is hung or
+	// drowning — and its in-flight cells re-queue like a death's.
+	// 0 means no bound: cells legitimately run long.
+	CellTimeout time.Duration
 
 	counts workerCounts
+	faults faultTally
 }
 
 // workerCounts is the per-worker completed-cell audit trail shared by
@@ -87,17 +131,59 @@ func (c *workerCounts) snapshot() map[string]int {
 	return out
 }
 
+// faultTally is the fault audit trail shared by both executors:
+// re-queues consumed and cells quarantined during the most recent
+// Execute call.
+type faultTally struct {
+	requeues    atomic.Int64
+	quarantined atomic.Int64
+}
+
+func (f *faultTally) reset() {
+	f.requeues.Store(0)
+	f.quarantined.Store(0)
+}
+
 // Counts reports completed cells per worker address for the most
 // recent Execute call — the audit trail cmd/autofl-sweep prints in its
 // final stats line. Cells served from the cache are not counted here
 // (they appear in the cache's own Stats).
 func (e *RemoteExecutor) Counts() map[string]int { return e.counts.snapshot() }
 
+// Requeues reports how many times a cell went back on the queue after
+// a worker fault during the most recent Execute call.
+func (e *RemoteExecutor) Requeues() int { return int(e.faults.requeues.Load()) }
+
+// Quarantined reports cells abandoned with an explicit error after
+// exhausting the retry budget during the most recent Execute call.
+func (e *RemoteExecutor) Quarantined() int { return int(e.faults.quarantined.Load()) }
+
 func (e *RemoteExecutor) dialTimeout() time.Duration {
 	if e.DialTimeout > 0 {
 		return e.DialTimeout
 	}
 	return 10 * time.Second
+}
+
+// normalizeBudget maps an executor's RetryBudget field to the
+// effective bound: 0 selects the default, negative means no retries.
+func normalizeBudget(budget int) int {
+	switch {
+	case budget == 0:
+		return DefaultRetryBudget
+	case budget < 0:
+		return 0
+	}
+	return budget
+}
+
+// normalizeBackoff maps an executor's RequeueBackoff field to the
+// effective base.
+func normalizeBackoff(backoff time.Duration) time.Duration {
+	if backoff <= 0 {
+		return defaultRequeueBackoff
+	}
+	return backoff
 }
 
 // servePass serves every task the cache can witness directly through
@@ -143,25 +229,106 @@ func commitResult(c *cache.Cache, t sweep.Task, res JobResult, emit func(int, sw
 	emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed, Outcome: out, Err: res.Err})
 }
 
-// taskQueue builds the shared claim queue and completion plumbing for
-// a set of pending tasks: the queue holds every task not yet claimed
-// by a lease (its capacity is the invariant that makes re-queuing
-// never block), and done closes when the last task is delivered.
-func taskQueue(pending []sweep.Task) (queue chan sweep.Task, done chan struct{}, finish func(), remaining *int64) {
-	queue = make(chan sweep.Task, len(pending))
+// dispatch is the shared task-flow state of one Execute call: the
+// claim queue every lease pulls from, the completion latch, and the
+// fault path — per-cell retry accounting, exponential re-queue
+// backoff, and quarantine past the budget. The queue's capacity is
+// the invariant that makes every re-queue non-blocking: a task is
+// always either queued, in exactly one lease's in-flight set, on one
+// backoff timer, or finished (delivered or quarantined).
+type dispatch struct {
+	queue chan sweep.Task
+	done  chan struct{} // closed when every task is finished
+	stop  chan struct{} // closed by shutdown; frees backoff timers
+
+	remaining atomic.Int64
+	closeOnce sync.Once
+
+	emit        func(int, sweep.Result)
+	budget      int
+	backoff     time.Duration
+	cellTimeout time.Duration
+	tally       *faultTally
+
+	mu       sync.Mutex
+	failures map[int]int // task index → faults so far
+
+	timers sync.WaitGroup
+}
+
+// newDispatch loads the pending tasks into a fresh dispatcher. budget
+// and backoff are the normalized values (see normalizeBudget).
+func newDispatch(pending []sweep.Task, emit func(int, sweep.Result),
+	budget int, backoff, cellTimeout time.Duration, tally *faultTally) *dispatch {
+	d := &dispatch{
+		queue:       make(chan sweep.Task, len(pending)),
+		done:        make(chan struct{}),
+		stop:        make(chan struct{}),
+		emit:        emit,
+		budget:      budget,
+		backoff:     backoff,
+		cellTimeout: cellTimeout,
+		tally:       tally,
+		failures:    make(map[int]int),
+	}
 	for _, t := range pending {
-		queue <- t
+		d.queue <- t
 	}
-	remaining = new(int64)
-	*remaining = int64(len(pending))
-	done = make(chan struct{})
-	var closeOnce sync.Once
-	finish = func() {
-		if atomic.AddInt64(remaining, -1) == 0 {
-			closeOnce.Do(func() { close(done) })
+	d.remaining.Store(int64(len(pending)))
+	return d
+}
+
+// finish marks one task delivered or quarantined; the last one closes
+// done.
+func (d *dispatch) finish() {
+	if d.remaining.Add(-1) == 0 {
+		d.closeOnce.Do(func() { close(d.done) })
+	}
+}
+
+// fault routes one undelivered task after a worker failure: back on
+// the queue (immediately on its first fault, with exponential backoff
+// from the second on — a cell collecting faults is suspect, and
+// hammering it across the fleet is how livelock starts), or into
+// quarantine once it exceeds the retry budget. A quarantined cell is
+// emitted as an explicit per-cell error and counted finished, so the
+// sweep completes with a visible hole instead of spinning forever.
+func (d *dispatch) fault(t sweep.Task, cause error) {
+	d.mu.Lock()
+	d.failures[t.Index]++
+	n := d.failures[t.Index]
+	d.mu.Unlock()
+	if n > d.budget {
+		d.tally.quarantined.Add(1)
+		d.emit(t.Index, sweep.Result{Cell: t.Cell, Seed: t.Seed,
+			Err: fmt.Sprintf("dist: quarantined after %d failed attempts (retry budget %d): %v", n, d.budget, cause)})
+		d.finish()
+		return
+	}
+	d.tally.requeues.Add(1)
+	if n == 1 {
+		d.queue <- t
+		return
+	}
+	delay := min(d.backoff<<(n-2), maxRequeueBackoff)
+	d.timers.Add(1)
+	go func() {
+		defer d.timers.Done()
+		tm := time.NewTimer(delay)
+		defer tm.Stop()
+		select {
+		case <-tm.C:
+			d.queue <- t
+		case <-d.stop:
 		}
-	}
-	return queue, done, finish, remaining
+	}()
+}
+
+// shutdown releases every pending backoff timer and waits them out —
+// the Execute-return barrier that keeps goroutine-leak checks honest.
+func (d *dispatch) shutdown() {
+	close(d.stop)
+	d.timers.Wait()
 }
 
 // Execute implements sweep.Executor. The local Runner is deliberately
@@ -173,12 +340,15 @@ func (e *RemoteExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ swee
 		return errors.New("dist: no worker addresses")
 	}
 	e.counts.reset()
+	e.faults.reset()
 
 	pending := servePass(e.Cache, tasks, emit)
 	if len(pending) == 0 {
 		return nil // fully served; never dial
 	}
-	queue, done, finish, remaining := taskQueue(pending)
+	d := newDispatch(pending, emit,
+		normalizeBudget(e.RetryBudget), normalizeBackoff(e.RequeueBackoff), e.CellTimeout, &e.faults)
+	defer d.shutdown()
 
 	errs := make([]error, len(e.Addrs))
 	var wg sync.WaitGroup
@@ -186,15 +356,16 @@ func (e *RemoteExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ swee
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			errs[i] = e.runWorker(ctx, addr, queue, done, emit, finish)
+			errs[i] = e.runWorker(ctx, addr, d, emit)
 		}(i, addr)
 	}
 	wg.Wait()
 
 	select {
-	case <-done:
-		// Every pending cell was delivered; individual worker failures
-		// along the way were absorbed by re-queuing.
+	case <-d.done:
+		// Every pending cell was delivered (or quarantined with an
+		// explicit error); individual worker failures along the way
+		// were absorbed by re-queuing.
 		return ctx.Err()
 	default:
 	}
@@ -203,35 +374,39 @@ func (e *RemoteExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ swee
 	}
 	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("dist: %d cells unfinished, all workers gone (first failure: %w)", atomic.LoadInt64(remaining), err)
+			return fmt.Errorf("dist: %d cells unfinished, all workers gone (first failure: %w)", d.remaining.Load(), err)
 		}
 	}
-	return fmt.Errorf("dist: %d cells unfinished, all workers gone", atomic.LoadInt64(remaining))
+	return fmt.Errorf("dist: %d cells unfinished, all workers gone", d.remaining.Load())
 }
 
 // runWorker drives one dialed worker connection: dial, handshake into
 // a Link, then the shared driveLink lease. On any connection failure
-// the worker's in-flight tasks go back on the queue and the error is
-// returned; the sweep survives as long as one worker does.
-func (e *RemoteExecutor) runWorker(ctx context.Context, addr string, queue chan sweep.Task, done <-chan struct{}, emit func(int, sweep.Result), finish func()) error {
-	d := net.Dialer{Timeout: e.dialTimeout()}
-	conn, err := d.DialContext(ctx, "tcp", addr)
+// the worker's in-flight tasks go back through the dispatcher's fault
+// path and the error is returned; the sweep survives as long as one
+// worker does.
+func (e *RemoteExecutor) runWorker(ctx context.Context, addr string, d *dispatch, emit func(int, sweep.Result)) error {
+	dialer := net.Dialer{Timeout: e.dialTimeout()}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return fmt.Errorf("dist: dial %s: %w", addr, err)
 	}
-	l, err := NewLink(conn, e.dialTimeout())
+	opts := e.Link
+	if opts.HandshakeTimeout == 0 {
+		opts.HandshakeTimeout = e.dialTimeout()
+	}
+	l, err := NewLink(conn, opts)
 	if err != nil {
 		conn.Close()
 		return fmt.Errorf("dist: %s: %w", addr, err)
 	}
 	defer l.Close()
-	err = driveLink(ctx, l, queue, done,
+	err = driveLink(ctx, l, d,
 		func(t sweep.Task) Job { return stampJob(t, e.Rounds, e.Traced, e.Cache) },
 		func(t sweep.Task, res JobResult) {
 			commitResult(e.Cache, t, res, emit)
 			e.counts.add(addr)
-		},
-		finish)
+		})
 	if err != nil && !errors.Is(err, context.Canceled) {
 		return fmt.Errorf("dist: %s: %w", addr, err)
 	}
@@ -261,20 +436,35 @@ type Source interface {
 // long-running service, worker absence is a transient condition, not
 // a sweep failure.
 //
-// Rounds/Traced/Cache behave exactly as on RemoteExecutor. Safe for
-// one Execute call at a time.
+// Rounds/Traced/Cache and the RetryBudget/RequeueBackoff/CellTimeout
+// containment knobs behave exactly as on RemoteExecutor. Heartbeat
+// configuration lives with whoever creates the links (the registry).
+// Safe for one Execute call at a time.
 type PoolExecutor struct {
 	Source Source
 	Rounds int
 	Traced bool
 	Cache  *cache.Cache
+	// RetryBudget, RequeueBackoff, CellTimeout: see RemoteExecutor.
+	RetryBudget    int
+	RequeueBackoff time.Duration
+	CellTimeout    time.Duration
 
 	counts workerCounts
+	faults faultTally
 }
 
 // Counts reports completed cells per worker label for the most recent
 // Execute call.
 func (e *PoolExecutor) Counts() map[string]int { return e.counts.snapshot() }
+
+// Requeues reports how many times a cell went back on the queue after
+// a worker fault during the most recent Execute call.
+func (e *PoolExecutor) Requeues() int { return int(e.faults.requeues.Load()) }
+
+// Quarantined reports cells abandoned with an explicit error after
+// exhausting the retry budget during the most recent Execute call.
+func (e *PoolExecutor) Quarantined() int { return int(e.faults.quarantined.Load()) }
 
 // Execute implements sweep.Executor (the local Runner is ignored, as
 // on RemoteExecutor).
@@ -283,12 +473,15 @@ func (e *PoolExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ sweep.
 		return errors.New("dist: pool executor needs a Source")
 	}
 	e.counts.reset()
+	e.faults.reset()
 
 	pending := servePass(e.Cache, tasks, emit)
 	if len(pending) == 0 {
 		return nil
 	}
-	queue, done, finish, _ := taskQueue(pending)
+	d := newDispatch(pending, emit,
+		normalizeBudget(e.RetryBudget), normalizeBackoff(e.RequeueBackoff), e.CellTimeout, &e.faults)
+	defer d.shutdown()
 
 	// The acquirer keeps leasing workers while the sweep runs; each
 	// lease drives the shared claim loop on its own goroutine. Extra
@@ -308,13 +501,12 @@ func (e *PoolExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ sweep.
 			leases.Add(1)
 			go func(l *Link) {
 				defer leases.Done()
-				err := driveLink(acqCtx, l, queue, done,
+				err := driveLink(acqCtx, l, d,
 					func(t sweep.Task) Job { return stampJob(t, e.Rounds, e.Traced, e.Cache) },
 					func(t sweep.Task, res JobResult) {
 						commitResult(e.Cache, t, res, emit)
 						e.counts.add(l.Label())
-					},
-					finish)
+					})
 				if err == nil || errors.Is(err, context.Canceled) {
 					// Sweep finished or was canceled with the link intact.
 					e.Source.Release(l)
@@ -326,7 +518,7 @@ func (e *PoolExecutor) Execute(ctx context.Context, tasks []sweep.Task, _ sweep.
 	}()
 
 	select {
-	case <-done:
+	case <-d.done:
 	case <-ctx.Done():
 	}
 	stopAcq()

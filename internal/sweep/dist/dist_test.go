@@ -415,7 +415,7 @@ func acceptLink(t *testing.T, ln net.Listener) *Link {
 	if err != nil {
 		t.Fatalf("accept: %v", err)
 	}
-	l, err := NewLink(conn, 5*time.Second)
+	l, err := NewLink(conn, LinkOptions{HandshakeTimeout: 5 * time.Second})
 	if err != nil {
 		conn.Close()
 		t.Fatalf("handshake: %v", err)

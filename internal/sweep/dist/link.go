@@ -20,6 +20,44 @@ var ErrLinkClosed = errors.New("dist: link closed")
 // in driveLink).
 var leaseIDs atomic.Uint64
 
+// LinkOptions tune a Link's liveness machinery. The zero value
+// selects the defaults; negative durations disable the corresponding
+// mechanism.
+type LinkOptions struct {
+	// HandshakeTimeout bounds the hello read (default 10s).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds every frame write — job sends and
+	// heartbeat pings — so a stalled peer surfaces as a link failure
+	// instead of wedging the sending goroutine forever (default 30s;
+	// < 0 disables).
+	WriteTimeout time.Duration
+	// HeartbeatInterval is how often the coordinator pings an
+	// otherwise-quiet link (default 5s; < 0 disables heartbeats).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long the link tolerates total silence —
+	// no results, no pongs — before declaring the worker hung and
+	// failing the link (default 4× the interval). A hung-but-connected
+	// worker is thereby evicted just like a dead one: Dead closes, the
+	// lease re-queues its in-flight cells, and the registry drops it.
+	HeartbeatTimeout time.Duration
+}
+
+func (o LinkOptions) withDefaults() LinkOptions {
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 5 * time.Second
+	}
+	if o.HeartbeatTimeout == 0 {
+		o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+	}
+	return o
+}
+
 // Link is one established, handshaken connection to a worker, owned by
 // the coordinating side — whether the coordinator dialed a listening
 // worker (the PR 5 flow) or a register-mode worker dialed in and the
@@ -29,11 +67,19 @@ var leaseIDs atomic.Uint64
 // A Link owns all reads on the connection: a single persistent reader
 // goroutine routes result frames to the attached channel (or discards
 // them when none is attached), and its exit — transport failure,
-// protocol violation, or Close — closes Dead. That single-reader
-// design is what lets a long-lived registry hold idle connections and
-// lease them to one sweep after another without read handoffs: a
-// worker's death is observed the moment it happens, and a stale result
-// from a canceled lease is dropped instead of corrupting the next.
+// protocol violation, heartbeat timeout, or Close — closes Dead. That
+// single-reader design is what lets a long-lived registry hold idle
+// connections and lease them to one sweep after another without read
+// handoffs: a worker's death is observed the moment it happens, and a
+// stale result from a canceled lease is dropped instead of corrupting
+// the next.
+//
+// Liveness: every received frame (results and pongs alike) refreshes
+// the link's last-heard clock; a background heartbeat pings on the
+// configured interval and fails the link when the silence exceeds the
+// heartbeat timeout. Workers answer pings from their read loop even
+// while cells execute, so a long-running cell never looks like a hang
+// — only a genuinely frozen or partitioned peer does.
 //
 // At most one sweep drives a Link at a time (job IDs are per-sweep
 // task indexes); the registry's lease discipline enforces that.
@@ -41,27 +87,29 @@ type Link struct {
 	conn     net.Conn
 	name     string
 	capacity int
+	opts     LinkOptions
 
-	wmu sync.Mutex // serializes job frames
+	wmu sync.Mutex // serializes frame writes (jobs and pings)
 
 	mu     sync.Mutex
 	dst    chan<- JobResult
 	closed bool
+	failed bool
 	err    error
 
-	dead   chan struct{}
-	served atomic.Int64
+	dead     chan struct{}
+	served   atomic.Int64
+	lastRecv atomic.Int64 // UnixNano of the last received frame
 }
 
 // NewLink performs the coordinator-side handshake on an established
-// connection — the worker's hello under the timeout, version check —
-// and starts the reader. On error the connection is left to the
-// caller; on success the Link owns it (Close it through the Link).
-func NewLink(conn net.Conn, timeout time.Duration) (*Link, error) {
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
-	conn.SetReadDeadline(time.Now().Add(timeout))
+// connection — the worker's hello under the handshake timeout, version
+// check — and starts the reader and heartbeat. On error the connection
+// is left to the caller; on success the Link owns it (Close it through
+// the Link).
+func NewLink(conn net.Conn, opts LinkOptions) (*Link, error) {
+	opts = opts.withDefaults()
+	conn.SetReadDeadline(time.Now().Add(opts.HandshakeTimeout))
 	m, err := readMessage(conn)
 	if err != nil {
 		return nil, fmt.Errorf("reading hello: %w", err)
@@ -81,9 +129,14 @@ func NewLink(conn net.Conn, timeout time.Duration) (*Link, error) {
 		conn:     conn,
 		name:     m.Hello.Name,
 		capacity: capacity,
+		opts:     opts,
 		dead:     make(chan struct{}),
 	}
+	l.lastRecv.Store(time.Now().UnixNano())
 	go l.read()
+	if opts.HeartbeatInterval > 0 {
+		go l.heartbeat()
+	}
 	return l, nil
 }
 
@@ -128,16 +181,26 @@ func (l *Link) Detach() {
 
 // Send writes one job frame. Safe for concurrent use.
 func (l *Link) Send(j Job) error {
-	l.wmu.Lock()
-	defer l.wmu.Unlock()
-	return writeMessage(l.conn, message{Kind: kindJob, Job: &j})
+	return l.send(message{Kind: kindJob, Job: &j})
 }
 
-// Dead is closed when the reader exits: transport failure, protocol
-// violation, or Close. After Dead, Err reports why.
+// send frames one message under the write mutex and the configured
+// write deadline, so a peer that stops reading fails the write
+// instead of wedging the caller.
+func (l *Link) send(m message) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if wt := l.opts.WriteTimeout; wt > 0 {
+		l.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	return writeMessage(l.conn, m)
+}
+
+// Dead is closed when the link fails: transport failure, protocol
+// violation, heartbeat timeout, or Close. After Dead, Err reports why.
 func (l *Link) Dead() <-chan struct{} { return l.dead }
 
-// Err returns the reader's exit cause once Dead is closed
+// Err returns the link's failure cause once Dead is closed
 // (ErrLinkClosed for a deliberate Close), nil before.
 func (l *Link) Err() error {
 	l.mu.Lock()
@@ -159,7 +222,8 @@ func (l *Link) Close() error {
 	return l.conn.Close()
 }
 
-// read is the link's single reader: it routes result frames until the
+// read is the link's single reader: it routes result frames (and
+// swallows pongs, which only refresh the liveness clock) until the
 // connection dies.
 func (l *Link) read() {
 	for {
@@ -168,7 +232,11 @@ func (l *Link) read() {
 			l.fail(err)
 			return
 		}
-		if m.Kind != kindResult || m.Result == nil {
+		l.lastRecv.Store(time.Now().UnixNano())
+		switch {
+		case m.Kind == kindPong:
+			continue
+		case m.Kind != kindResult || m.Result == nil:
 			l.fail(fmt.Errorf("dist: unexpected %q frame", m.Kind))
 			l.conn.Close()
 			return
@@ -183,9 +251,44 @@ func (l *Link) read() {
 	}
 }
 
-// fail records the reader's exit cause and closes Dead.
+// heartbeat pings the worker on the configured interval and fails the
+// link once total silence — no results, no pongs — exceeds the
+// heartbeat timeout. It closes the connection on failure so the
+// reader exits too.
+func (l *Link) heartbeat() {
+	t := time.NewTicker(l.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.dead:
+			return
+		case <-t.C:
+			quiet := time.Since(time.Unix(0, l.lastRecv.Load()))
+			if quiet > l.opts.HeartbeatTimeout {
+				l.fail(fmt.Errorf("dist: heartbeat timeout: worker silent for %s (bound %s)",
+					quiet.Round(time.Millisecond), l.opts.HeartbeatTimeout))
+				l.conn.Close()
+				return
+			}
+			if err := l.send(message{Kind: kindPing}); err != nil {
+				l.fail(fmt.Errorf("dist: heartbeat send: %w", err))
+				l.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// fail records the link's failure cause and closes Dead. First cause
+// wins: the reader, the heartbeat, and a lease teardown can all race
+// to report, and only one closes the channel.
 func (l *Link) fail(err error) {
 	l.mu.Lock()
+	if l.failed {
+		l.mu.Unlock()
+		return
+	}
+	l.failed = true
 	if l.closed {
 		err = ErrLinkClosed
 	}
@@ -194,17 +297,27 @@ func (l *Link) fail(err error) {
 	close(l.dead)
 }
 
+// inflightJob is one claimed, undelivered task of a lease, stamped
+// with its send time for the per-cell execution deadline.
+type inflightJob struct {
+	task   sweep.Task
+	sentAt time.Time
+}
+
 // driveLink runs one lease: the claim/pipeline loop of a sweep over an
-// established link. It claims tasks from the shared queue, keeps up to
-// the link's capacity in flight, and delivers completed results — all
-// on the calling goroutine, with the link's reader feeding the results
-// channel. It returns nil once the sweep is done (done closed), or
-// ctx.Err() on cancellation; if the link dies it re-queues every
-// in-flight task for the surviving workers (at-least-once delivery)
-// and returns the link's Err. In every case the link is detached on
+// established link. It claims tasks from the dispatcher's shared
+// queue, keeps up to the link's capacity in flight, and delivers
+// completed results — all on the calling goroutine, with the link's
+// reader feeding the results channel. It returns nil once the sweep is
+// done (every cell delivered or quarantined), or ctx.Err() on
+// cancellation; if the link dies — transport failure, heartbeat
+// timeout, or a cell exceeding the dispatcher's execution deadline —
+// every in-flight task goes back through the dispatcher's fault path
+// (re-queue with backoff, or quarantine past the retry budget) and the
+// link's failure is returned. In every case the link is detached on
 // return, so a straggler result can never leak into a later lease.
-func driveLink(ctx context.Context, l *Link, queue chan sweep.Task, done <-chan struct{},
-	jobFor func(sweep.Task) Job, deliver func(sweep.Task, JobResult), finish func()) error {
+func driveLink(ctx context.Context, l *Link, d *dispatch,
+	jobFor func(sweep.Task) Job, deliver func(sweep.Task, JobResult)) error {
 	capacity := l.Capacity()
 	// Buffer headroom: up to capacity in-flight results of this lease,
 	// plus up to capacity stragglers of a previous lease the worker was
@@ -219,14 +332,24 @@ func driveLink(ctx context.Context, l *Link, queue chan sweep.Task, done <-chan 
 	// earlier sweep could otherwise be mistaken for this sweep's cell
 	// of the same index. Workers echo it verbatim.
 	lease := leaseIDs.Add(1)
-	inflight := make(map[int]sweep.Task, capacity)
-	// requeue returns every undelivered claim to the shared queue. The
-	// queue's capacity is an invariant, not a guess: a task is always
-	// either queued or in exactly one lease's in-flight set, so this
-	// can never block.
+	inflight := make(map[int]inflightJob, capacity)
+	// fault routes every undelivered claim through the dispatcher:
+	// back on the shared queue (with backoff for repeat offenders) or
+	// into quarantine past the retry budget.
+	fault := func(cause error) {
+		for _, in := range inflight {
+			d.fault(in.task, cause)
+		}
+		clear(inflight)
+	}
+	// requeue returns claims without charging their retry budgets —
+	// the cancellation path, where the sweep (not the cell) stopped.
+	// The queue's capacity is an invariant, not a guess: a task is
+	// always either queued, in exactly one lease's in-flight set, or
+	// on one backoff timer, so this can never block.
 	requeue := func() {
-		for _, t := range inflight {
-			queue <- t
+		for _, in := range inflight {
+			d.queue <- in.task
 		}
 		clear(inflight)
 	}
@@ -234,26 +357,55 @@ func driveLink(ctx context.Context, l *Link, queue chan sweep.Task, done <-chan 
 		if res.Lease != lease {
 			return // a previous lease's straggler: drop
 		}
-		t, ok := inflight[res.ID]
+		in, ok := inflight[res.ID]
 		if !ok {
 			return // already re-queued elsewhere: drop
 		}
 		delete(inflight, res.ID)
-		deliver(t, res)
-		finish()
+		deliver(in.task, res)
+		d.finish()
+	}
+	// The per-cell execution deadline: a ticker at a quarter of the
+	// bound (so overshoot stays small) checks the oldest in-flight
+	// job; one over the bound condemns the whole link — the worker is
+	// hung or drowning, and its healthy in-flight cells re-queue along
+	// with the culprit, exactly like a death.
+	var overdue <-chan time.Time
+	if d.cellTimeout > 0 {
+		t := time.NewTicker(max(d.cellTimeout/4, time.Millisecond))
+		defer t.Stop()
+		overdue = t.C
+	}
+	checkDeadline := func() error {
+		for _, in := range inflight {
+			if age := time.Since(in.sentAt); age > d.cellTimeout {
+				err := fmt.Errorf("dist: cell %d exceeded the %s execution deadline (in flight %s)",
+					in.task.Index, d.cellTimeout, age.Round(time.Millisecond))
+				fault(err)
+				l.fail(err)
+				l.conn.Close()
+				return err
+			}
+		}
+		return nil
 	}
 
 	for {
 		// Drain results until a pipeline slot frees up.
 		for len(inflight) >= capacity {
 			select {
-			case <-done:
+			case <-d.done:
 				return nil
 			case <-ctx.Done():
+				requeue()
 				return ctx.Err()
 			case <-l.Dead():
-				requeue()
+				fault(l.Err())
 				return l.Err()
+			case <-overdue:
+				if err := checkDeadline(); err != nil {
+					return err
+				}
 			case res := <-results:
 				handle(res)
 			}
@@ -263,27 +415,32 @@ func driveLink(ctx context.Context, l *Link, queue chan sweep.Task, done <-chan 
 		claimed := false
 		for !claimed {
 			select {
-			case <-done:
+			case <-d.done:
 				return nil
 			case <-ctx.Done():
+				requeue()
 				return ctx.Err()
 			case <-l.Dead():
-				requeue()
+				fault(l.Err())
 				return l.Err()
+			case <-overdue:
+				if err := checkDeadline(); err != nil {
+					return err
+				}
 			case res := <-results:
 				handle(res)
-			case t = <-queue:
+			case t = <-d.queue:
 				claimed = true
 			}
 		}
-		inflight[t.Index] = t
+		inflight[t.Index] = inflightJob{task: t, sentAt: time.Now()}
 		j := jobFor(t)
 		j.Lease = lease
 		if err := l.Send(j); err != nil {
 			// The write failed but the reader may not have noticed yet;
 			// force the teardown so Dead closes and Err is set.
 			l.conn.Close()
-			requeue()
+			fault(err)
 			return err
 		}
 	}

@@ -23,6 +23,8 @@
 //	worker → coordinator   hello{version, capacity, name}  (once, on connect)
 //	coordinator → worker   job{id, cell, seed, rounds, traced, digest, lease}
 //	worker → coordinator   result{id, digest, lease, outcome, err, wall_seconds}
+//	coordinator → worker   ping                            (liveness probe)
+//	worker → coordinator   pong
 //
 // The coordinator pipelines up to the advertised capacity of jobs per
 // worker; the worker executes them on a local pool and streams results
@@ -47,8 +49,10 @@ import (
 
 // ProtocolVersion gates the wire format. A coordinator refuses a
 // worker that advertises a different version rather than misreading
-// its frames.
-const ProtocolVersion = 1
+// its frames. Version 2 added the ping/pong heartbeat frames — a v1
+// worker would treat a ping as a protocol violation and drop the
+// connection, so the handshake refuses the mix outright.
+const ProtocolVersion = 2
 
 // maxFrame bounds a single frame's body. Job and result payloads are
 // small (a traced 1000-round outcome is ~100 KB of JSON); the bound
@@ -62,6 +66,8 @@ const (
 	kindHello  = "hello"
 	kindJob    = "job"
 	kindResult = "result"
+	kindPing   = "ping"
+	kindPong   = "pong"
 )
 
 // Hello is the worker's banner, sent once per connection before any

@@ -18,6 +18,11 @@ import (
 // deliberate shutdown is distinguishable from a transport failure).
 var ErrWorkerClosed = errors.New("dist: worker closed")
 
+// workerWriteTimeout bounds every worker-side frame write (hello,
+// pong, result) — the mirror of LinkOptions.WriteTimeout on the
+// coordinator side.
+const workerWriteTimeout = 30 * time.Second
+
 // RunnerFor maps a job's execution parameters — the round horizon and
 // whether a per-round trace is requested — to the sweep.Runner that
 // executes it. The indirection keeps workers horizon-agnostic: one
@@ -57,13 +62,27 @@ type Worker struct {
 // connection (values < 1 select GOMAXPROCS). Call Serve to accept
 // coordinators.
 func NewWorker(addr string, parallel int, runners RunnerFor) (*Worker, error) {
-	w, err := newWorker("", parallel, runners)
-	if err != nil {
-		return nil, err
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	w, err := NewWorkerOn(ln, parallel, runners)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// NewWorkerOn is NewWorker over an already-established listener — the
+// seam the fault-injection tests use to put a chaos.Listener under a
+// real worker, so scripted connection faults (freeze after the hello,
+// drop mid-frame) exercise the genuine serve path. The worker owns ln
+// from here on (Close closes it).
+func NewWorkerOn(ln net.Listener, parallel int, runners RunnerFor) (*Worker, error) {
+	w, err := newWorker("", parallel, runners)
+	if err != nil {
+		return nil, err
 	}
 	w.ln = ln
 	return w, nil
@@ -302,6 +321,10 @@ func (w *Worker) handle(conn net.Conn) {
 	write := func(m message) error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		// Deadline every frame: a coordinator that stopped reading must
+		// fail the handler (→ connection drop → re-queue on its side)
+		// rather than wedge the job pool behind a full socket buffer.
+		conn.SetWriteDeadline(time.Now().Add(workerWriteTimeout))
 		return writeMessage(conn, m)
 	}
 	if err := write(message{Kind: kindHello, Hello: &Hello{Version: ProtocolVersion, Capacity: w.parallel, Name: w.name}}); err != nil {
@@ -315,6 +338,15 @@ func (w *Worker) handle(conn net.Conn) {
 		m, err := readMessage(conn)
 		if err != nil {
 			return // coordinator done (or gone); either way this session is over
+		}
+		if m.Kind == kindPing {
+			// Liveness probe: answer from the read loop, never from the
+			// job pool, so a worker saturated with long cells still
+			// proves it is alive (only a frozen process goes silent).
+			if write(message{Kind: kindPong}) != nil {
+				return
+			}
+			continue
 		}
 		if m.Kind != kindJob || m.Job == nil {
 			return // protocol violation: drop the connection, not the process

@@ -38,6 +38,22 @@ func (s *ResultStore) Len() int {
 	return len(s.results)
 }
 
+// Failed reports the number of stored results carrying a per-cell
+// error — cells that panicked, errored, or were quarantined by a
+// distributed executor's retry budget. A sweep with Failed() > 0
+// completed with explicit holes rather than silently thin summaries.
+func (s *ResultStore) Failed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.results {
+		if r.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
 // Results returns the stored results sorted by cell (axes, then
 // replicate index).
 func (s *ResultStore) Results() []Result {

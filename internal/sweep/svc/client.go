@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -29,6 +32,12 @@ type Client struct {
 	BaseURL string
 	// HTTP is the transport (http.DefaultClient when nil).
 	HTTP *http.Client
+	// WaitRetries bounds the consecutive transient failures —
+	// connection refused, 502/503/504 — Wait rides out with jittered
+	// backoff before giving up (default 8, about 30 seconds: a daemon
+	// restarting under a process supervisor comes back well inside
+	// that). Negative disables retries.
+	WaitRetries int
 }
 
 func (c *Client) http() *http.Client {
@@ -140,16 +149,45 @@ func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
 // Wait polls a job until it reaches a terminal state (or ctx is
 // done), invoking onUpdate — when non-nil — with each status snapshot
 // whose Done count advanced (and with the terminal one).
+//
+// Transient failures — a refused connection, a 502/503/504 — are
+// ridden out with jittered exponential backoff for up to WaitRetries
+// consecutive attempts, so a client survives a daemon restart: the
+// daemon's journal resumes the job under the same ID, and the next
+// successful poll picks up where the last one left off. Anything else
+// (404, a decode error) fails immediately.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onUpdate func(JobStatus)) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
+	retries := c.WaitRetries
+	if retries == 0 {
+		retries = 8
+	}
 	lastDone := -1
+	failures := 0
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
-			return JobStatus{}, err
+			if ctx.Err() != nil {
+				return JobStatus{}, ctx.Err()
+			}
+			if failures++; failures > retries || !transientWaitErr(err) {
+				return JobStatus{}, err
+			}
+			// Jittered exponential backoff, capped at 5s: a restarting
+			// daemon's clients must not stampede it the instant the
+			// port reopens.
+			delay := min(poll<<min(failures-1, 8), 5*time.Second)
+			delay += time.Duration(rand.Int64N(int64(delay)/2 + 1))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return JobStatus{}, ctx.Err()
+			}
+			continue
 		}
+		failures = 0
 		if onUpdate != nil && (st.Done != lastDone || Terminal(st.State)) {
 			lastDone = st.Done
 			onUpdate(st)
@@ -163,4 +201,25 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onUpda
 			return st, ctx.Err()
 		}
 	}
+}
+
+// transientWaitErr classifies a Status failure as worth retrying:
+// transport-level errors (the daemon is down or restarting — every
+// *url.Error, refused connections included) and gateway-flavored
+// status codes. A 404 is NOT transient even across a restart: the
+// journal resumes known jobs under their original IDs, so an unknown
+// ID is genuinely unknown.
+func transientWaitErr(err error) bool {
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+	}
+	return false
 }

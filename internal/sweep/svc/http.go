@@ -176,11 +176,17 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "autofl_sweepd_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "autofl_sweepd_cache_prefix_hits_total %d\n", prefixHits)
 	fmt.Fprintf(w, "autofl_sweepd_cache_misses_total %d\n", misses)
-	workers := 0
+	fmt.Fprintf(w, "autofl_sweepd_requeues_total %d\n", s.Requeues())
+	fmt.Fprintf(w, "autofl_sweepd_quarantined_total %d\n", s.Quarantined())
+	fmt.Fprintf(w, "autofl_sweepd_failed_cells_total %d\n", s.FailedCells())
+	fmt.Fprintf(w, "autofl_sweepd_journal_resumed_total %d\n", s.ResumedJobs())
+	workers, evictions := 0, 0
 	if s.cfg.Registry != nil {
 		workers = s.cfg.Registry.Len()
+		evictions = s.cfg.Registry.Evictions()
 	}
 	fmt.Fprintf(w, "autofl_sweepd_workers %d\n", workers)
+	fmt.Fprintf(w, "autofl_sweepd_evictions_total %d\n", evictions)
 	drain := 0
 	if s.Draining() {
 		drain = 1

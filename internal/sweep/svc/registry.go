@@ -6,6 +6,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autofl/internal/sweep/dist"
@@ -25,15 +26,32 @@ type WorkerInfo struct {
 	// counts results delivered over the connection's lifetime.
 	Capacity int `json:"capacity"`
 	Served   int `json:"served"`
-	// State is "idle" or "leased" (driving a sweep right now).
+	// State is "idle", "leased" (driving a sweep right now), or
+	// "cooldown" (registered but benched after flapping; see Flaps).
 	State       string    `json:"state"`
 	ConnectedAt time.Time `json:"connected_at"`
+	// Flaps counts this worker's consecutive abnormal disconnects —
+	// evictions and transport deaths, not deliberate closes. A lease
+	// that runs to completion resets it.
+	Flaps int `json:"flaps,omitempty"`
 }
 
 // workerEntry is the registry's bookkeeping for one link.
 type workerEntry struct {
+	key         string // health identity: advertised name, else remote addr
 	leased      bool
+	benched     bool // held out of the idle pool during a cooldown
 	connectedAt time.Time
+}
+
+// workerHealth scores one worker identity across connections. Links
+// come and go (that is the definition of a flap); the health record
+// persists under the worker's stable key so a worker that dies
+// seconds after every (re-)registration accumulates flaps instead of
+// looking newborn each time.
+type workerHealth struct {
+	flaps        int
+	benchedUntil time.Time
 }
 
 // Registry is the daemon's worker pool: the canonical dist.Source.
@@ -48,17 +66,42 @@ type workerEntry struct {
 // connection dies is removed (idle) or evicted by its lease (leased);
 // its in-flight cells re-queue through the executor's at-least-once
 // path.
+//
+// Health scoring: abnormal disconnects count as flaps against the
+// worker's stable identity (its advertised name, or the remote
+// address for unnamed workers — name your workers if you want
+// cooldowns to stick across reconnects). A worker at or past the flap
+// threshold still registers, but sits out an exponential cooldown
+// before it can be leased again, so a crash-looping worker cannot
+// keep adopting cells only to kill them — that would burn the cells'
+// retry budgets on a peer everyone can see is sick.
 type Registry struct {
 	// HandshakeTimeout bounds the hello read per connection (default
 	// 10s). Set before Serve/Maintain.
 	HandshakeTimeout time.Duration
+	// Links tunes the liveness machinery of every pooled link — write
+	// deadlines, heartbeat interval and timeout (see dist.LinkOptions).
+	// The zero value selects the dist defaults, with HandshakeTimeout
+	// above as the handshake bound.
+	Links dist.LinkOptions
+	// FlapThreshold is the consecutive-flap count at which a worker is
+	// benched (default 2; a single death is routine fleet churn).
+	FlapThreshold int
+	// CooldownBase and CooldownMax bound the exponential bench: a
+	// worker at the threshold sits out CooldownBase, doubling per
+	// further flap up to CooldownMax (defaults 1s, 30s).
+	CooldownBase time.Duration
+	CooldownMax  time.Duration
 
 	mu     sync.Mutex
 	idle   []*dist.Link
 	info   map[*dist.Link]*workerEntry
+	health map[string]*workerHealth
 	notify chan struct{} // closed and replaced on every pool change
 	closed bool
 	ln     net.Listener
+
+	evictions atomic.Int64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -68,6 +111,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		info:   make(map[*dist.Link]*workerEntry),
+		health: make(map[string]*workerHealth),
 		notify: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -79,6 +123,38 @@ func (r *Registry) handshakeTimeout() time.Duration {
 	}
 	return 10 * time.Second
 }
+
+// linkOptions resolves the LinkOptions for a new connection.
+func (r *Registry) linkOptions() dist.LinkOptions {
+	o := r.Links
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = r.handshakeTimeout()
+	}
+	return o
+}
+
+func (r *Registry) flapThreshold() int {
+	if r.FlapThreshold > 0 {
+		return r.FlapThreshold
+	}
+	return 2
+}
+
+func (r *Registry) cooldown(flaps int) time.Duration {
+	base, cap := r.CooldownBase, r.CooldownMax
+	if base <= 0 {
+		base = time.Second
+	}
+	if cap <= 0 {
+		cap = 30 * time.Second
+	}
+	shift := min(flaps-r.flapThreshold(), 20)
+	return min(base<<shift, cap)
+}
+
+// Evictions reports abnormal disconnects (flaps) observed over the
+// registry's lifetime — the /v1/metrics eviction counter.
+func (r *Registry) Evictions() int { return int(r.evictions.Load()) }
 
 // goTracked runs fn on a registry-tracked goroutine; false once the
 // registry closed (Close waits for every tracked goroutine, and the
@@ -108,19 +184,31 @@ func (r *Registry) wakeLocked() {
 // Listen binds the registration listener at addr (":0" picks a free
 // port) and starts accepting worker registrations until Close. It
 // returns the bound address — valid immediately, so workers can be
-// pointed at it without racing the accept loop. Each accepted
-// connection handshakes on its own goroutine — a silent dialer cannot
-// stall later registrations — and joins the pool.
+// pointed at it without racing the accept loop.
 func (r *Registry) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	if err := r.ListenOn(ln); err != nil {
+		ln.Close()
+		return "", err
+	}
+	return ln.Addr().String(), nil
+}
+
+// ListenOn is Listen over an already-established listener — the seam
+// the fault-injection tests use to put a chaos.Listener under the
+// registry, so scripted registration faults (a dialer that freezes
+// mid-handshake, a drop right after hello) exercise the genuine
+// accept path. The registry owns ln from here on. Each accepted
+// connection handshakes on its own goroutine — a silent dialer cannot
+// stall later registrations — and joins the pool.
+func (r *Registry) ListenOn(ln net.Listener) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		ln.Close()
-		return "", ErrRegistryClosed
+		return ErrRegistryClosed
 	}
 	r.ln = ln
 	r.wg.Add(1)
@@ -133,12 +221,12 @@ func (r *Registry) Listen(addr string) (string, error) {
 				return // Close closed the listener (or it failed terminally)
 			}
 			if !r.goTracked(func() {
-				l, err := dist.NewLink(conn, r.handshakeTimeout())
+				l, err := dist.NewLink(conn, r.linkOptions())
 				if err != nil {
 					conn.Close()
 					return
 				}
-				if !r.add(l) {
+				if !r.add(l, "") {
 					l.Close()
 				}
 			}) {
@@ -147,7 +235,7 @@ func (r *Registry) Listen(addr string) (string, error) {
 			}
 		}
 	}()
-	return ln.Addr().String(), nil
+	return nil
 }
 
 // Addr is the registration listener's address ("" before Serve).
@@ -179,10 +267,10 @@ func (r *Registry) Maintain(addr string) {
 				select {
 				case <-l.Dead():
 				case <-r.done:
-					r.remove(l)
+					r.drop(l, false)
 					return
 				}
-				r.remove(l)
+				r.drop(l, !errors.Is(l.Err(), dist.ErrLinkClosed))
 				if l.Served() > served {
 					backoff = minBackoff
 				}
@@ -201,62 +289,130 @@ func (r *Registry) Maintain(addr string) {
 
 // dialWorker dials and handshakes one static worker, pooling the link;
 // nil when any step fails (the Maintain loop backs off and retries).
+// The dialed address is the worker's health identity — stable across
+// reconnects by construction.
 func (r *Registry) dialWorker(addr string) *dist.Link {
 	conn, err := net.DialTimeout("tcp", addr, r.handshakeTimeout())
 	if err != nil {
 		return nil
 	}
-	l, err := dist.NewLink(conn, r.handshakeTimeout())
+	l, err := dist.NewLink(conn, r.linkOptions())
 	if err != nil {
 		conn.Close()
 		return nil
 	}
-	if !r.add(l) {
+	if !r.add(l, addr) {
 		l.Close()
 		return nil
 	}
 	return l
 }
 
-// add pools an established link and starts its death watcher; false
-// once the registry closed.
-func (r *Registry) add(l *dist.Link) bool {
+// add pools an established link under the health identity key (""
+// derives it: the advertised name, else the remote address) and
+// starts its death watcher; false once the registry closed. A link
+// whose identity is in cooldown registers benched: present in the
+// pool's books, invisible to Acquire until the cooldown lapses.
+func (r *Registry) add(l *dist.Link, key string) bool {
+	if key == "" {
+		if key = l.Name(); key == "" {
+			key = l.RemoteAddr()
+		}
+	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return false
 	}
-	r.info[l] = &workerEntry{connectedAt: time.Now()}
-	r.idle = append(r.idle, l)
-	r.wakeLocked()
+	e := &workerEntry{key: key, connectedAt: time.Now()}
+	r.info[l] = e
+	wait := time.Duration(0)
+	if h := r.health[key]; h != nil {
+		wait = time.Until(h.benchedUntil)
+	}
+	if wait > 0 {
+		e.benched = true
+		r.wg.Add(1)
+		go func() {
+			// The unbench timer promotes the benched link to the idle
+			// pool once the cooldown lapses — unless the link died (its
+			// watcher dropped it from info) or the registry closed.
+			defer r.wg.Done()
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-r.done:
+				return
+			}
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if _, ok := r.info[l]; !ok || r.closed {
+				return
+			}
+			e.benched = false
+			r.idle = append(r.idle, l)
+			r.wakeLocked()
+		}()
+	} else {
+		r.idle = append(r.idle, l)
+		r.wakeLocked()
+	}
 	r.wg.Add(1)
 	r.mu.Unlock()
 	go func() {
 		// The watcher drops a link that dies while idle (a leased
-		// link's death is observed by its lease, which Evicts). remove
-		// tolerates either order.
+		// link's death is observed by its lease, which Evicts). drop
+		// tolerates either order, charging at most one flap per link.
 		defer r.wg.Done()
 		select {
 		case <-l.Dead():
-			r.remove(l)
+			r.drop(l, !errors.Is(l.Err(), dist.ErrLinkClosed))
 		case <-r.done:
 		}
 	}()
 	return true
 }
 
-// remove forgets a link entirely (idle slice and info map) and closes
-// it. Safe to call for an already-removed link.
-func (r *Registry) remove(l *dist.Link) {
+// noteFlapLocked charges one abnormal disconnect against a worker
+// identity, benching it once it crosses the threshold. Callers hold
+// r.mu and have verified the link was still in the registry's books —
+// that presence check is what makes flap accounting exactly-once when
+// the watcher, a lease eviction, and Acquire's dead-idle sweep race
+// to report the same death.
+func (r *Registry) noteFlapLocked(key string) {
+	r.evictions.Add(1)
+	h := r.health[key]
+	if h == nil {
+		h = &workerHealth{}
+		r.health[key] = h
+	}
+	h.flaps++
+	if h.flaps >= r.flapThreshold() {
+		h.benchedUntil = time.Now().Add(r.cooldown(h.flaps))
+	}
+}
+
+// drop forgets a link entirely (idle slice and info map) and closes
+// it, charging a flap when the death was abnormal. Safe to call for
+// an already-removed link (a no-op then, including the flap).
+func (r *Registry) drop(l *dist.Link, flap bool) {
 	l.Close()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	e, ok := r.info[l]
+	if !ok {
+		return
+	}
 	delete(r.info, l)
 	for i, il := range r.idle {
 		if il == l {
 			r.idle = append(r.idle[:i], r.idle[i+1:]...)
 			break
 		}
+	}
+	if flap && !r.closed {
+		r.noteFlapLocked(e.key)
 	}
 }
 
@@ -276,7 +432,12 @@ func (r *Registry) Acquire(ctx context.Context) (*dist.Link, error) {
 			r.idle = r.idle[:len(r.idle)-1]
 			select {
 			case <-l.Dead():
-				delete(r.info, l)
+				if e, ok := r.info[l]; ok {
+					if !errors.Is(l.Err(), dist.ErrLinkClosed) {
+						r.noteFlapLocked(e.key)
+					}
+					delete(r.info, l)
+				}
 				continue
 			default:
 			}
@@ -297,17 +458,20 @@ func (r *Registry) Acquire(ctx context.Context) (*dist.Link, error) {
 }
 
 // Release implements dist.Source: a healthy link returns to the idle
-// pool (waking waiters); a dead one is dropped.
+// pool (waking waiters), and its identity's flap record clears — a
+// lease that ran to completion is the definition of a recovered
+// worker. A dead one is dropped.
 func (r *Registry) Release(l *dist.Link) {
 	select {
 	case <-l.Dead():
-		r.remove(l)
+		r.drop(l, !errors.Is(l.Err(), dist.ErrLinkClosed))
 		return
 	default:
 	}
 	r.mu.Lock()
 	if e, ok := r.info[l]; ok && !r.closed {
 		e.leased = false
+		delete(r.health, e.key)
 		r.idle = append(r.idle, l)
 		r.wakeLocked()
 		r.mu.Unlock()
@@ -318,9 +482,11 @@ func (r *Registry) Release(l *dist.Link) {
 }
 
 // Evict implements dist.Source: a link whose lease observed a
-// connection failure is closed and forgotten. The worker behind it
-// re-registers on its own (register mode) or is re-dialed (Maintain).
-func (r *Registry) Evict(l *dist.Link, err error) { r.remove(l) }
+// connection failure is closed, forgotten, and charged a flap. The
+// worker behind it re-registers on its own (register mode) or is
+// re-dialed (Maintain) — into a cooldown bench if it has been
+// flapping.
+func (r *Registry) Evict(l *dist.Link, err error) { r.drop(l, true) }
 
 // Workers snapshots the registry for GET /v1/workers, sorted by label
 // then address.
@@ -329,8 +495,15 @@ func (r *Registry) Workers() []WorkerInfo {
 	out := make([]WorkerInfo, 0, len(r.info))
 	for l, e := range r.info {
 		state := "idle"
-		if e.leased {
+		switch {
+		case e.leased:
 			state = "leased"
+		case e.benched:
+			state = "cooldown"
+		}
+		flaps := 0
+		if h := r.health[e.key]; h != nil {
+			flaps = h.flaps
 		}
 		out = append(out, WorkerInfo{
 			Name:        l.Name(),
@@ -339,6 +512,7 @@ func (r *Registry) Workers() []WorkerInfo {
 			Served:      l.Served(),
 			State:       state,
 			ConnectedAt: e.connectedAt,
+			Flaps:       flaps,
 		})
 	}
 	r.mu.Unlock()

@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autofl/internal/sim"
@@ -90,6 +91,15 @@ type JobStatus struct {
 	CachePrefixHits int `json:"cache_prefix_hits,omitempty"`
 	CacheMisses     int `json:"cache_misses"`
 
+	// Requeues counts cells returned to the queue after worker faults;
+	// Quarantined counts cells abandoned past the retry budget; and
+	// FailedCells counts results that finished with a per-cell error
+	// (quarantined cells included) — the job completed with explicit
+	// holes, not silently thin summaries.
+	Requeues    int `json:"requeues,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	FailedCells int `json:"failed_cells,omitempty"`
+
 	Workers map[string]int `json:"workers,omitempty"`
 	Error   string         `json:"error,omitempty"`
 
@@ -103,19 +113,22 @@ type job struct {
 	id   string
 	spec JobSpec
 
-	mu        sync.Mutex
-	state     string
-	rounds    int
-	total     int
-	done      int
-	stats     cache.Stats
-	counts    map[string]int
-	store     *sweep.ResultStore
-	err       string
-	cancel    context.CancelFunc
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu          sync.Mutex
+	state       string
+	rounds      int
+	total       int
+	done        int
+	stats       cache.Stats
+	counts      map[string]int
+	requeues    int
+	quarantined int
+	failedCells int
+	store       *sweep.ResultStore
+	err         string
+	cancel      context.CancelFunc
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 }
 
 // status snapshots the job under its lock.
@@ -126,6 +139,7 @@ func (j *job) status() JobStatus {
 		ID: j.id, Name: j.spec.Name, State: j.state,
 		Rounds: j.rounds, Total: j.total, Done: j.done,
 		CacheHits: j.stats.Hits, CachePrefixHits: j.stats.PrefixHits, CacheMisses: j.stats.Misses,
+		Requeues: j.requeues, Quarantined: j.quarantined, FailedCells: j.failedCells,
 		Error: j.err, SubmittedAt: j.submitted,
 	}
 	if len(j.counts) > 0 {
@@ -170,6 +184,12 @@ type Config struct {
 	// also serializes overlapping submissions so the second is served
 	// from the first's cache commits.
 	MaxConcurrent int
+	// CellTimeout, RetryBudget, and RequeueBackoff tune the registry
+	// executor's failure containment (see dist.PoolExecutor). Zero
+	// values select the dist defaults.
+	CellTimeout    time.Duration
+	RetryBudget    int
+	RequeueBackoff time.Duration
 }
 
 // queuedSpecsName is the drain-persistence file under CacheDir.
@@ -192,8 +212,26 @@ type Service struct {
 	draining bool
 	queue    chan *job
 
+	journal *journal
+	resumed int // journal-recovered jobs re-submitted at startup
+
+	// Lifetime fault totals across jobs, for /v1/metrics.
+	requeues    atomic.Int64
+	quarantined atomic.Int64
+	failedCells atomic.Int64
+
 	runners sync.WaitGroup
 }
+
+// ResumedJobs reports how many journal-recovered jobs this daemon
+// re-submitted at startup (the journal_resumed_total metric).
+func (s *Service) ResumedJobs() int { return s.resumed }
+
+// Requeues, Quarantined, and FailedCells report fault totals summed
+// over every job this daemon has finished.
+func (s *Service) Requeues() int    { return int(s.requeues.Load()) }
+func (s *Service) Quarantined() int { return int(s.quarantined.Load()) }
+func (s *Service) FailedCells() int { return int(s.failedCells.Load()) }
 
 // New starts a service: MaxConcurrent grid-runner goroutines over a
 // QueueLimit-bounded queue. Job specs a previous daemon persisted on
@@ -209,22 +247,41 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 1
 	}
-	resumed, err := loadQueuedSpecs(cfg.CacheDir)
+	drained, err := loadQueuedSpecs(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	// The journal holds jobs the previous daemon accepted but never
+	// finished — including one it was killed mid-grid on. Drained
+	// queued jobs live in the legacy queued-jobs file instead (Drain
+	// writes them a terminal record), so the two sources never overlap.
+	jl, crashed, err := openJournal(cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*job),
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+		journal: jl,
+		resumed: len(crashed),
 		// Resumed specs ride ahead of the bound so a full persisted
 		// queue never fails the restart that is trying to honor it.
-		queue: make(chan *job, cfg.QueueLimit+len(resumed)),
+		queue: make(chan *job, cfg.QueueLimit+len(crashed)+len(drained)),
 	}
 	s.mu.Lock()
-	for _, spec := range resumed {
+	// Crash-recovered jobs keep their original IDs: a client that
+	// submitted before the crash polls the same ID across the restart
+	// and gets its answer. Re-execution is cheap, not wasteful — every
+	// cell the cache committed before the crash is served as a hit, so
+	// the resumed run executes only the genuinely unfinished cells and
+	// its output is byte-identical to an uninterrupted run.
+	for _, r := range crashed {
+		s.queue <- s.resumeJobLocked(r.ID, r.Spec)
+	}
+	for _, spec := range drained {
 		s.queue <- s.newJobLocked(spec)
 	}
 	s.mu.Unlock()
@@ -248,11 +305,32 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// newJobLocked registers a fresh queued job record. Callers hold s.mu.
+// newJobLocked registers a fresh queued job record and journals its
+// acceptance. Callers hold s.mu.
 func (s *Service) newJobLocked(spec JobSpec) *job {
 	s.seq++
+	j := s.recordJobLocked(fmt.Sprintf("job-%06d", s.seq), spec)
+	s.journal.accepted(j.id, spec)
+	return j
+}
+
+// resumeJobLocked registers a journal-recovered job under its original
+// ID, advancing the sequence counter past it so fresh submissions
+// never collide. The acceptance record is already in the compacted
+// journal — openJournal rewrote it — so nothing is appended here.
+func (s *Service) resumeJobLocked(id string, spec JobSpec) *job {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	return s.recordJobLocked(id, spec)
+}
+
+// recordJobLocked is the shared queued-job constructor behind
+// newJobLocked and resumeJobLocked.
+func (s *Service) recordJobLocked(id string, spec JobSpec) *job {
 	j := &job{
-		id:        fmt.Sprintf("job-%06d", s.seq),
+		id:        id,
 		spec:      spec,
 		state:     StateQueued,
 		rounds:    normalizeRounds(spec.Rounds),
@@ -363,6 +441,7 @@ func (s *Service) Cancel(id string) error {
 	case StateQueued:
 		j.state = StateCanceled
 		j.finished = time.Now()
+		s.journal.terminal(j.id, StateCanceled)
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
@@ -394,6 +473,7 @@ func (s *Service) runJob(j *job) {
 	spec := j.spec
 	j.mu.Unlock()
 	defer cancel()
+	s.journal.started(j.id)
 
 	var c *cache.Cache
 	if s.cfg.CacheDir != "" {
@@ -406,7 +486,7 @@ func (s *Service) runJob(j *job) {
 		var err error
 		c, err = cache.Open(dir, cache.Signature{GridSeed: spec.Grid.Seed, Rounds: rounds})
 		if err != nil {
-			s.finishJob(j, nil, nil, cache.Stats{}, err)
+			s.finishJob(j, nil, nil, cache.Stats{}, [2]int{}, err)
 			return
 		}
 		defer c.Close()
@@ -425,7 +505,11 @@ func (s *Service) runJob(j *job) {
 	var run sweep.Runner
 	var pe *dist.PoolExecutor
 	if s.cfg.Registry != nil {
-		pe = &dist.PoolExecutor{Source: s.cfg.Registry, Rounds: rounds, Traced: c != nil, Cache: c}
+		pe = &dist.PoolExecutor{
+			Source: s.cfg.Registry, Rounds: rounds, Traced: c != nil, Cache: c,
+			CellTimeout: s.cfg.CellTimeout, RetryBudget: s.cfg.RetryBudget,
+			RequeueBackoff: s.cfg.RequeueBackoff,
+		}
 		runOpts.Executor = pe
 		run = func(context.Context, sweep.Cell, uint64) (sweep.Outcome, error) {
 			return sweep.Outcome{}, errors.New("svc: local execution disabled in registry mode")
@@ -447,18 +531,24 @@ func (s *Service) runJob(j *job) {
 	if c != nil {
 		stats = c.Stats()
 	}
-	s.finishJob(j, store, counts, stats, err)
+	var faults [2]int
+	if pe != nil {
+		faults = [2]int{pe.Requeues(), pe.Quarantined()}
+	}
+	s.finishJob(j, store, counts, stats, faults, err)
 }
 
-// finishJob records a job's terminal state.
-func (s *Service) finishJob(j *job, store *sweep.ResultStore, counts map[string]int, stats cache.Stats, err error) {
+// finishJob records a job's terminal state, folds its fault counters
+// into the service totals, and journals the transition.
+func (s *Service) finishJob(j *job, store *sweep.ResultStore, counts map[string]int, stats cache.Stats, faults [2]int, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	j.counts = counts
 	j.stats = stats
+	j.requeues, j.quarantined = faults[0], faults[1]
 	if store != nil {
 		j.done = store.Len()
+		j.failedCells = store.Failed()
 	}
 	switch {
 	case err == nil:
@@ -471,6 +561,12 @@ func (s *Service) finishJob(j *job, store *sweep.ResultStore, counts map[string]
 		j.state = StateFailed
 		j.err = err.Error()
 	}
+	state, failed := j.state, j.failedCells
+	j.mu.Unlock()
+	s.requeues.Add(int64(faults[0]))
+	s.quarantined.Add(int64(faults[1]))
+	s.failedCells.Add(int64(failed))
+	s.journal.terminal(j.id, state)
 }
 
 // Drain shuts the service down gracefully: intake stops (Submit
@@ -510,6 +606,9 @@ drain:
 			j.state = StateCanceled
 			j.err = "drained: spec persisted for restart"
 			j.finished = time.Now()
+			// Terminal in the journal, alive in the legacy drain file:
+			// the restart resumes drained specs from exactly one place.
+			s.journal.terminal(j.id, StateCanceled)
 		}
 		j.mu.Unlock()
 	}
@@ -529,6 +628,7 @@ drain:
 		<-stopped
 	}
 	s.cancel()
+	s.journal.Close()
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"autofl/internal/sim"
 	"autofl/internal/sweep"
@@ -158,6 +159,26 @@ type SweepOptions struct {
 	// per-worker audit trail of cmd/autofl-sweep's final stats line.
 	// Only meaningful with Workers.
 	WorkerCells map[string]int
+	// CellTimeout and RetryBudget tune the distributed executor's
+	// failure containment: CellTimeout bounds one cell's remote
+	// execution (0 = unbounded), and RetryBudget bounds how many times
+	// a faulted cell is re-queued before it is quarantined with an
+	// explicit per-cell error (0 selects the dist default, negative
+	// quarantines on the first fault). Only meaningful with Workers.
+	CellTimeout time.Duration
+	RetryBudget int
+	// Faults, when non-nil, is filled after the run with the executor's
+	// fault audit trail. Only meaningful with Workers.
+	Faults *SweepFaults
+}
+
+// SweepFaults is the distributed executor's fault audit trail for one
+// run: cells re-queued after worker failures and cells quarantined
+// past the retry budget (each quarantined cell also appears in the
+// store as a result with a per-cell error).
+type SweepFaults struct {
+	Requeues    int
+	Quarantined int
 }
 
 // SweepSignature is the cache signature of a (grid, horizon) pair:
@@ -201,10 +222,12 @@ func RunSweepWith(ctx context.Context, g sweep.Grid, o SweepOptions) (*sweep.Res
 		// turns any local fallback into a loud per-cell error (which
 		// also breaks byte-identity, so tests catch it structurally).
 		remote = &dist.RemoteExecutor{
-			Addrs:  o.Workers,
-			Rounds: SweepSignature(g, o.MaxRounds).Rounds,
-			Traced: o.Cache != nil,
-			Cache:  o.Cache,
+			Addrs:       o.Workers,
+			Rounds:      SweepSignature(g, o.MaxRounds).Rounds,
+			Traced:      o.Cache != nil,
+			Cache:       o.Cache,
+			CellTimeout: o.CellTimeout,
+			RetryBudget: o.RetryBudget,
 		}
 		opts.Executor = remote
 		run = func(ctx context.Context, c sweep.Cell, seed uint64) (sweep.Outcome, error) {
@@ -238,6 +261,10 @@ func RunSweepWith(ctx context.Context, g sweep.Grid, o SweepOptions) (*sweep.Res
 		for addr, n := range remote.Counts() {
 			o.WorkerCells[addr] = n
 		}
+	}
+	if remote != nil && o.Faults != nil {
+		o.Faults.Requeues = remote.Requeues()
+		o.Faults.Quarantined = remote.Quarantined()
 	}
 	return store, err
 }
