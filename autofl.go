@@ -148,9 +148,51 @@ type Scenario struct {
 	// population; nil keeps the default fleet. See FleetSpec for the
 	// cohort/sampling semantics.
 	Fleet *FleetSpec
+	// Aggregation selects the server's aggregation regime; nil keeps
+	// the paper's bulk-synchronous FedAvg. See AggregationSpec.
+	Aggregation *AggregationSpec
 	// AutoFL configures the AutoFL controller when it is the policy
 	// being run; nil selects the paper's hyperparameters.
 	AutoFL *AutoFLOptions
+}
+
+// AggregationMode names a server aggregation regime.
+type AggregationMode string
+
+// The aggregation regimes.
+const (
+	// SyncAggregation is the paper's bulk-synchronous FedAvg (the
+	// default): each round waits for its cohort or the straggler
+	// deadline.
+	SyncAggregation AggregationMode = "sync"
+	// AsyncAggregation applies every device update the moment it
+	// arrives, discounted by staleness — no barrier, no drops.
+	AsyncAggregation AggregationMode = "async"
+	// SemiAsyncAggregation aggregates at a quorum of arrivals or a
+	// deadline; stragglers roll into the next model version.
+	SemiAsyncAggregation AggregationMode = "semi-async"
+)
+
+// AggregationModes lists the selectable regimes.
+func AggregationModes() []AggregationMode {
+	return []AggregationMode{SyncAggregation, AsyncAggregation, SemiAsyncAggregation}
+}
+
+// AggregationSpec configures the asynchronous aggregation regimes.
+// All runs — any mode, any fleet scale, serial or distributed — stay
+// deterministic: traces are a pure function of the scenario and seed.
+type AggregationSpec struct {
+	// Mode selects the regime (default sync).
+	Mode AggregationMode
+	// StalenessAlpha is the α of the staleness discount 1/(1+s)^α
+	// applied to updates dispatched s model versions ago; 0 selects
+	// the engine default (0.5). Only meaningful in the async regimes.
+	StalenessAlpha float64
+	// AggregateK is the semi-async aggregation quorum (0 = ceil(K/2)).
+	AggregateK int
+	// DeadlineSec bounds how long a semi-async step waits for its
+	// quorum (0 = derived from the in-flight cohort per step).
+	DeadlineSec float64
 }
 
 // FleetSpec sizes a device population beyond the paper's 200-device
@@ -215,6 +257,9 @@ type Report struct {
 	LocalPPW  float64
 	// FinalAccuracy is the model accuracy at the end of the run.
 	FinalAccuracy float64
+	// MeanStaleness averages the per-round mean applied-update
+	// staleness over the run; 0 for synchronous runs.
+	MeanStaleness float64
 	// AccuracyTrace holds per-round accuracy (Fig 6a-style curves).
 	AccuracyTrace []float64
 	// RewardTrace holds AutoFL's per-round mean reward (Fig 15); nil
@@ -283,6 +328,14 @@ func (s Scenario) simConfig() (sim.Config, error) {
 		cfg.Sample = s.Fleet.Sample
 		cfg.Shards = s.Fleet.Shards
 	}
+	if s.Aggregation != nil {
+		// sim.NewEngine validates the mode and knob combinations,
+		// returning a *sim.ConfigError for bad α/deadline/quorum.
+		cfg.Mode = sim.AggregationMode(s.Aggregation.Mode)
+		cfg.StalenessAlpha = s.Aggregation.StalenessAlpha
+		cfg.AggregateK = s.Aggregation.AggregateK
+		cfg.AggregateDeadlineSec = s.Aggregation.DeadlineSec
+	}
 	return cfg, nil
 }
 
@@ -336,6 +389,7 @@ func reportFromResult(p Policy, res *sim.Result) *Report {
 		GlobalPPW:       res.GlobalPPW(),
 		LocalPPW:        res.LocalPPW(),
 		FinalAccuracy:   res.FinalAccuracy,
+		MeanStaleness:   res.MeanStaleness,
 		AccuracyTrace:   res.AccuracyTrace,
 		RewardTrace:     res.RewardTrace,
 	}

@@ -17,6 +17,16 @@
 //	    -policies FedAvg-Random,AutoFL -replicates 3 \
 //	    -rounds 200 -format csv -out sweep.csv
 //
+// Aggregation regimes and population scale are grid axes too:
+// -async-modes crosses synchronous against asynchronous and
+// semi-asynchronous aggregation, -alphas spans staleness-weighting
+// exponents for the async regimes, and -devices/-samples sweep
+// synthetic population sizes with sampled per-round cohorts:
+//
+//	autofl-sweep -workloads CNN-MNIST -async-modes sync,async -rounds 200
+//	autofl-sweep -async-modes async,semi-async -alphas 0.3,0.5,1 \
+//	    -devices 100000 -samples 512 -rounds 100
+//
 // With -cache-dir, every completed cell is persisted with its
 // per-round trace, so an interrupted run resumes where it stopped, an
 // extended grid executes only its new cells, and a request at a
@@ -79,6 +89,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -97,6 +108,10 @@ func main() {
 		dataAxis   = flag.String("data", "all", "comma-separated data scenarios, or 'all'")
 		envs       = flag.String("envs", "all", "comma-separated environments, or 'all'")
 		policies   = flag.String("policies", "all", "comma-separated policies, or 'all'")
+		asyncModes = flag.String("async-modes", "", "comma-separated aggregation regimes (sync, async, semi-async) as a grid axis (empty = sync only)")
+		alphas     = flag.String("alphas", "", "comma-separated staleness exponents as a grid axis (requires -async-modes; crossing with 'sync' yields loud per-cell errors — sweep sync separately)")
+		devicesAx  = flag.String("devices", "", "comma-separated population sizes as a grid axis (empty = explicit testbed fleet)")
+		samplesAx  = flag.String("samples", "", "comma-separated per-round cohort sizes as a grid axis (requires -devices)")
 		replicates = flag.Int("replicates", 1, "seed replicates per cell")
 		seed       = flag.Uint64("seed", 42, "grid master seed")
 		parallel   = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
@@ -165,6 +180,28 @@ func main() {
 	grid.Data = pickAxis("data", *dataAxis, full.Data)
 	grid.Envs = pickAxis("envs", *envs, full.Envs)
 	grid.Policies = pickAxis("policies", *policies, full.Policies)
+	if *asyncModes != "" {
+		var known []string
+		for _, m := range autofl.AggregationModes() {
+			known = append(known, string(m))
+		}
+		grid.Modes = pickAxis("async-modes", *asyncModes, known)
+	}
+	if *alphas != "" {
+		if *asyncModes == "" {
+			fatalf("-alphas requires -async-modes (staleness weighting needs an asynchronous regime)")
+		}
+		grid.Alphas = pickFloatAxis("alphas", *alphas)
+	}
+	if *devicesAx != "" {
+		grid.Devices = pickIntAxis("devices", *devicesAx)
+	}
+	if *samplesAx != "" {
+		if *devicesAx == "" {
+			fatalf("-samples requires -devices (a cohort needs a population to sample from)")
+		}
+		grid.Samples = pickIntAxis("samples", *samplesAx)
+	}
 
 	// Open the output before running so a bad path fails fast, not
 	// after a long sweep.
@@ -457,8 +494,59 @@ func pickAxis(name, arg string, known []string) []string {
 	return out
 }
 
+// pickFloatAxis parses a comma-separated flag of float values, keeping
+// the original spellings as axis values (the cell identity is the
+// string, so "0.5" and ".5" are distinct cells; pick one spelling).
+func pickFloatAxis(name, arg string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range strings.Split(arg, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" || seen[v] {
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			fatalf("bad %s value %q (want a non-negative number)", name, v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatalf("-%s selected no values", name)
+	}
+	return out
+}
+
+// pickIntAxis parses a comma-separated flag of positive integers,
+// keeping the original spellings as axis values.
+func pickIntAxis(name, arg string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range strings.Split(arg, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" || seen[v] {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			fatalf("bad %s value %q (want a positive integer)", name, v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatalf("-%s selected no values", name)
+	}
+	return out
+}
+
 func listAxes() {
 	g := autofl.SweepGrid(0, 1)
+	var modes []string
+	for _, m := range autofl.AggregationModes() {
+		modes = append(modes, string(m))
+	}
 	axes := []struct {
 		name string
 		vals []string
@@ -468,6 +556,7 @@ func listAxes() {
 		{"data", g.Data},
 		{"envs", g.Envs},
 		{"policies", g.Policies},
+		{"async-modes", modes},
 	}
 	for _, a := range axes {
 		fmt.Printf("%s: %s\n", a.name, strings.Join(a.vals, ", "))

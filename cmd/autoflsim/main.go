@@ -11,6 +11,8 @@
 //	autoflsim -policy AutoFL -progress -rounds 300
 //	autoflsim -compare -data noniid75
 //	autoflsim -policy FedAvg-Random -devices 1000000 -sample 4096 -rounds 50
+//	autoflsim -policy AutoFL -async-mode async -alpha 0.5 -rounds 200
+//	autoflsim -async-mode semi-async -agg-k 20 -agg-deadline 30
 package main
 
 import (
@@ -38,6 +40,10 @@ func main() {
 		devices      = flag.Int("devices", 0, "population size in the paper's tier mix (0 = the 200-device testbed)")
 		sample       = flag.Int("sample", 0, "per-round candidate pool for large populations (0 = exhaustive)")
 		shards       = flag.Int("shards", 0, "engine parallelism for large populations (0 = automatic)")
+		asyncMode    = flag.String("async-mode", "", "aggregation regime: sync | async | semi-async (empty = sync)")
+		alpha        = flag.Float64("alpha", 0, "staleness-weighting exponent for async modes (0 = default 0.5)")
+		aggK         = flag.Int("agg-k", 0, "semi-async quorum: aggregate at this many arrivals (0 = half the cohort)")
+		aggDeadline  = flag.Float64("agg-deadline", 0, "semi-async aggregation deadline in seconds (0 = derived from in-flight completion times)")
 	)
 	flag.Parse()
 
@@ -61,6 +67,14 @@ func main() {
 		fleet.Shards = *shards
 		scenario.Fleet = fleet
 	}
+	if *asyncMode != "" || *alpha != 0 || *aggK != 0 || *aggDeadline != 0 {
+		scenario.Aggregation = &autofl.AggregationSpec{
+			Mode:           autofl.AggregationMode(*asyncMode),
+			StalenessAlpha: *alpha,
+			AggregateK:     *aggK,
+			DeadlineSec:    *aggDeadline,
+		}
+	}
 
 	if *compare {
 		if err := runComparison(scenario); err != nil {
@@ -81,20 +95,35 @@ func main() {
 		if n < 1 {
 			n = 1
 		}
+		async := scenario.Aggregation != nil
 		sess.Observe(func(ev autofl.RoundEvent) {
 			if ev.Round%n != 0 && !ev.Converged {
 				return
 			}
 			fmt.Fprintf(os.Stderr,
-				"round %4d: acc=%.3f round=%.0fs energy=%.0fJ kept=%d/%d dropped=%d\n",
+				"round %4d: acc=%.3f round=%.0fs energy=%.0fJ kept=%d/%d dropped=%d",
 				ev.Round, ev.Accuracy, ev.RoundSec, ev.EnergyJ,
 				ev.Kept, ev.Participants, ev.Dropped)
+			if async {
+				fmt.Fprintf(os.Stderr, " stale=%.2f pending=%d", ev.MeanStaleness, ev.Pending)
+			}
+			fmt.Fprintln(os.Stderr)
 			if ev.Converged {
 				fmt.Fprintf(os.Stderr, "converged at round %d\n", ev.Round)
 			}
 		})
 	}
-	printReport(sess.Run())
+	rep := sess.Run()
+	printReport(rep)
+	// Population runs keep packed per-device accumulators, so the fleet
+	// energy distribution streams out in one O(1)-memory pass even at a
+	// million devices.
+	if v, ok := sess.FleetEnergyPercentiles(0.5, 0.95, 0.99); ok {
+		fmt.Printf("fleet energy p50/p95/p99: %.3g / %.3g / %.3g J/device\n", v[0], v[1], v[2])
+	}
+	if scenario.Aggregation != nil {
+		fmt.Printf("mean staleness:    %.3f\n", rep.MeanStaleness)
+	}
 }
 
 func runComparison(s autofl.Scenario) error {

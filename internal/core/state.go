@@ -34,6 +34,12 @@ type Buckets struct {
 	NetworkMbps []float64
 	// DataFraction buckets the fraction of data classes present.
 	DataFraction []float64
+	// Staleness buckets the device's last applied-update staleness
+	// (sim.DeviceState.Staleness) in the asynchronous aggregation
+	// regimes. Nil collapses the feature to a single bucket — hand-built
+	// Buckets keep their pre-async state space, and every synchronous
+	// observation (staleness 0) lands in bucket 0 either way.
+	Staleness []float64
 }
 
 // DefaultBuckets returns the Table 1 thresholds. S_Data carries one
@@ -49,6 +55,10 @@ func DefaultBuckets() Buckets {
 		CoMem:        []float64{0.25, 0.75},
 		NetworkMbps:  []float64{network.RegularBandwidthMbps},
 		DataFraction: []float64{0.25, 0.55, 1.0},
+		// fresh | 1 version | 2–3 versions | ancient. In sync runs
+		// every device sits in bucket 0, so the extra digit never
+		// splits a synchronous state.
+		Staleness: []float64{1, 2, 4},
 	}
 }
 
@@ -91,13 +101,16 @@ func GlobalStateKey(w *workload.Model, p workload.GlobalParams) qlearn.State {
 }
 
 // LocalStateKey encodes one device's runtime-variance and data state:
-// S_Co_CPU, S_Co_MEM, S_Network and S_Data.
+// S_Co_CPU, S_Co_MEM, S_Network, S_Data, and the async extension
+// S_Stale (last applied-update staleness; always bucket 0 in
+// synchronous runs).
 func (b Buckets) LocalStateKey(ds *sim.DeviceState) qlearn.State {
 	return qlearn.JoinState(
 		fmt.Sprintf("u%d", bucketWithNone(ds.Load.CPUUtil, b.CoCPU)),
 		fmt.Sprintf("m%d", bucketWithNone(ds.Load.MemUtil, b.CoMem)),
 		fmt.Sprintf("n%d", dbscan.Bucket(ds.BandwidthMbps, b.NetworkMbps)),
 		fmt.Sprintf("d%d", dbscan.Bucket(ds.Data.ClassFraction, b.DataFraction)),
+		fmt.Sprintf("s%d", dbscan.Bucket(float64(ds.Staleness), b.Staleness)),
 	)
 }
 
@@ -134,7 +147,7 @@ type StateCoder struct {
 	// Global-feature radices (fixed package-level boundaries).
 	nConv, nFC, nRC, nB, nE, nK uint64
 	// Local-feature radices (derived from the Buckets in use).
-	nU, nM, nN, nD uint64
+	nU, nM, nN, nD, nS uint64
 	// localSpace is the number of distinct local states; the full key
 	// is global*localSpace + local.
 	localSpace uint64
@@ -155,8 +168,9 @@ func NewStateCoder(b Buckets) StateCoder {
 		nM: uint64(dbscan.NumBuckets(b.CoMem)) + 1,
 		nN: uint64(dbscan.NumBuckets(b.NetworkMbps)),
 		nD: uint64(dbscan.NumBuckets(b.DataFraction)),
+		nS: uint64(dbscan.NumBuckets(b.Staleness)),
 	}
-	c.localSpace = c.nU * c.nM * c.nN * c.nD
+	c.localSpace = c.nU * c.nM * c.nN * c.nD * c.nS
 	return c
 }
 
@@ -186,6 +200,7 @@ func (c StateCoder) LocalKey(ds *sim.DeviceState) qlearn.StateKey {
 	k = k*c.nM + uint64(bucketWithNone(ds.Load.MemUtil, c.buckets.CoMem))
 	k = k*c.nN + uint64(dbscan.Bucket(ds.BandwidthMbps, c.buckets.NetworkMbps))
 	k = k*c.nD + uint64(dbscan.Bucket(ds.Data.ClassFraction, c.buckets.DataFraction))
+	k = k*c.nS + uint64(dbscan.Bucket(float64(ds.Staleness), c.buckets.Staleness))
 	return qlearn.StateKey(k)
 }
 
@@ -197,12 +212,13 @@ func (c StateCoder) Key(global qlearn.StateKey, ds *sim.DeviceState) qlearn.Stat
 }
 
 // Format renders a packed key in the legacy string-key layout
-// ("c…|f…|r…|b…|e…|k…|u…|m…|n…|d…") by peeling the mixed-radix digits
-// back off — the debug/serialization bridge between the two forms.
+// ("c…|f…|r…|b…|e…|k…|u…|m…|n…|d…|s…") by peeling the mixed-radix
+// digits back off — the debug/serialization bridge between the two
+// forms.
 func (c StateCoder) Format(k qlearn.StateKey) string {
 	v := uint64(k)
-	digits := [10]uint64{}
-	radices := [10]uint64{c.nConv, c.nFC, c.nRC, c.nB, c.nE, c.nK, c.nU, c.nM, c.nN, c.nD}
+	digits := [11]uint64{}
+	radices := [11]uint64{c.nConv, c.nFC, c.nRC, c.nB, c.nE, c.nK, c.nU, c.nM, c.nN, c.nD, c.nS}
 	for i := len(radices) - 1; i >= 0; i-- {
 		digits[i] = v % radices[i]
 		v /= radices[i]
@@ -218,5 +234,6 @@ func (c StateCoder) Format(k qlearn.StateKey) string {
 		fmt.Sprintf("m%d", digits[7]),
 		fmt.Sprintf("n%d", digits[8]),
 		fmt.Sprintf("d%d", digits[9]),
+		fmt.Sprintf("s%d", digits[10]),
 	))
 }

@@ -43,7 +43,7 @@ func modelWithLayers(conv, fc, rc int) *workload.Model {
 }
 
 // deviceStateFor builds a DeviceState hitting the given raw feature
-// values.
+// values (staleness 0, the synchronous default).
 func deviceStateFor(cpu, mem, bw, frac float64) sim.DeviceState {
 	return sim.DeviceState{
 		Device:        device.DefaultFleet()[0],
@@ -98,11 +98,12 @@ func TestStateCoderInjective(t *testing.T) {
 	}
 
 	// Local cross product: zero plus one value per co-utilization
-	// bucket, every bandwidth and data-fraction bucket.
+	// bucket, every bandwidth, data-fraction, and staleness bucket.
 	cpuVals := append([]float64{0}, bucketSamplesPositive(b.CoCPU)...)
 	memVals := append([]float64{0}, bucketSamplesPositive(b.CoMem)...)
 	bwVals := bucketSamples(b.NetworkMbps)
 	fracVals := bucketSamplesPositive(b.DataFraction)
+	staleVals := []int{0, 1, 2, 3, 4, 9}
 
 	localSeen := map[qlearn.State]qlearn.StateKey{}
 	localPacked := map[qlearn.StateKey]qlearn.State{}
@@ -110,17 +111,20 @@ func TestStateCoderInjective(t *testing.T) {
 		for _, mem := range memVals {
 			for _, bw := range bwVals {
 				for _, frac := range fracVals {
-					ds := deviceStateFor(cpu, mem, bw, frac)
-					str := b.LocalStateKey(&ds)
-					packed := coder.LocalKey(&ds)
-					if prev, ok := localSeen[str]; ok && prev != packed {
-						t.Fatalf("local string key %s mapped to two packed keys", str)
+					for _, stale := range staleVals {
+						ds := deviceStateFor(cpu, mem, bw, frac)
+						ds.Staleness = stale
+						str := b.LocalStateKey(&ds)
+						packed := coder.LocalKey(&ds)
+						if prev, ok := localSeen[str]; ok && prev != packed {
+							t.Fatalf("local string key %s mapped to two packed keys", str)
+						}
+						if prev, ok := localPacked[packed]; ok && prev != str {
+							t.Fatalf("local packed key %d collides: %s vs %s", packed, prev, str)
+						}
+						localSeen[str] = packed
+						localPacked[packed] = str
 					}
-					if prev, ok := localPacked[packed]; ok && prev != str {
-						t.Fatalf("local packed key %d collides: %s vs %s", packed, prev, str)
-					}
-					localSeen[str] = packed
-					localPacked[packed] = str
 				}
 			}
 		}
@@ -169,10 +173,13 @@ func TestStateCoderMatchesControllerKey(t *testing.T) {
 	w := workload.CNNMNIST()
 	p := workload.S3
 	g := coder.GlobalKey(w, p)
+	stale := deviceStateFor(0.2, 0.4, 30, 0.8)
+	stale.Staleness = 3
 	for _, ds := range []sim.DeviceState{
 		deviceStateFor(0, 0, 100, 1),
 		deviceStateFor(0.5, 0.9, 20, 0.3),
 		deviceStateFor(0.1, 0, 50, 0.6),
+		stale,
 	} {
 		full := coder.Key(g, &ds)
 		want := string(StateKey(GlobalStateKey(w, p), b.LocalStateKey(&ds)))
@@ -187,8 +194,16 @@ func TestStateCoderMatchesControllerKey(t *testing.T) {
 // the dense interner stays compact.
 func TestStateCoderSpace(t *testing.T) {
 	coder := NewStateCoder(DefaultBuckets())
-	// 5*3*4*3*3*3 global × 4*4*2*4 local = 1620 × 128.
-	if got := coder.StateSpace(); got != 1620*128 {
-		t.Errorf("StateSpace = %d, want %d", got, 1620*128)
+	// 5*3*4*3*3*3 global × 4*4*2*4*4 local = 1620 × 512 (the trailing
+	// ×4 is the async staleness digit).
+	if got := coder.StateSpace(); got != 1620*512 {
+		t.Errorf("StateSpace = %d, want %d", got, 1620*512)
+	}
+	// A Buckets without staleness boundaries keeps the pre-async local
+	// space: the digit collapses to radix 1.
+	legacy := DefaultBuckets()
+	legacy.Staleness = nil
+	if got := NewStateCoder(legacy).StateSpace(); got != 1620*128 {
+		t.Errorf("StateSpace without staleness buckets = %d, want %d", got, 1620*128)
 	}
 }

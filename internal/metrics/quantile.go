@@ -1,0 +1,182 @@
+package metrics
+
+// Streaming quantile estimation for fleet-scale distributions: the P²
+// algorithm (Jain & Chlamtac, CACM 1985) tracks one quantile with five
+// markers in O(1) memory and O(1) per observation, so per-device
+// distributions (e.g. cumulative energy across a million-device
+// population) can be summarized without materializing the fleet.
+// Estimates are deterministic: a pure function of the observation
+// sequence.
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile estimates a single quantile of a stream. Create with
+// NewQuantile, feed with Add, read with Value.
+type Quantile struct {
+	p   float64
+	n   int
+	q   [5]float64 // marker heights
+	pos [5]float64 // actual marker positions (1-based observation ranks)
+	des [5]float64 // desired marker positions
+	inc [5]float64 // desired-position increments per observation
+}
+
+// NewQuantile returns an estimator for the p-quantile, p in (0, 1).
+func NewQuantile(p float64) *Quantile {
+	return &Quantile{
+		p:   p,
+		pos: [5]float64{1, 2, 3, 4, 5},
+		des: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Add feeds one observation.
+func (e *Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+		}
+		return
+	}
+	// Locate the marker cell the observation falls into, extending the
+	// extreme markers when it lies outside them.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.des {
+		e.des[i] += e.inc[i]
+	}
+	e.n++
+	// Adjust the interior markers toward their desired positions with
+	// the piecewise-parabolic (P²) height update.
+	for i := 1; i <= 3; i++ {
+		d := e.des[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			if h := e.parabolic(i, s); e.q[i-1] < h && h < e.q[i+1] {
+				e.q[i] = h
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Count reports the number of observations fed so far.
+func (e *Quantile) Count() int { return e.n }
+
+// Value returns the current quantile estimate: exact (nearest-rank)
+// below five observations, the P² marker estimate from there on. Zero
+// before any observation.
+func (e *Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		var buf [5]float64
+		copy(buf[:], e.q[:e.n])
+		sort.Float64s(buf[:e.n])
+		idx := int(math.Ceil(e.p*float64(e.n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= e.n {
+			idx = e.n - 1
+		}
+		return buf[idx]
+	}
+	return e.q[2]
+}
+
+// Quantiles estimates several quantiles of one stream side by side —
+// the fleet-energy p50/p95/p99 exporter feeds every observation once.
+type Quantiles struct {
+	ps []float64
+	es []*Quantile
+}
+
+// NewQuantiles returns a multi-quantile estimator for the given
+// probabilities.
+func NewQuantiles(ps ...float64) *Quantiles {
+	q := &Quantiles{ps: ps}
+	for _, p := range ps {
+		q.es = append(q.es, NewQuantile(p))
+	}
+	return q
+}
+
+// Add feeds one observation to every estimator.
+func (q *Quantiles) Add(x float64) {
+	for _, e := range q.es {
+		e.Add(x)
+	}
+}
+
+// Count reports the number of observations fed so far.
+func (q *Quantiles) Count() int {
+	if len(q.es) == 0 {
+		return 0
+	}
+	return q.es[0].Count()
+}
+
+// Values returns the current estimates, parallel to the construction
+// probabilities. The independent P² estimators can cross by small
+// margins on spiky multi-modal streams (e.g. tiered fleets), so the
+// estimates are isotonically clamped: a higher probability never
+// reports a lower value.
+func (q *Quantiles) Values() []float64 {
+	out := make([]float64, len(q.es))
+	for i, e := range q.es {
+		out[i] = e.Value()
+	}
+	// Clamp in probability order without assuming the construction
+	// order was sorted.
+	order := make([]int, len(q.ps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return q.ps[order[a]] < q.ps[order[b]] })
+	for k := 1; k < len(order); k++ {
+		if prev, cur := order[k-1], order[k]; out[cur] < out[prev] {
+			out[cur] = out[prev]
+		}
+	}
+	return out
+}

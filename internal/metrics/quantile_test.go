@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"autofl/internal/rng"
+)
+
+// exactQuantile is the nearest-rank reference the estimator is checked
+// against.
+func exactQuantile(sorted []float64, p float64) float64 {
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestQuantileUniform checks P² accuracy on a uniform stream: within a
+// small relative error of the exact quantile at 100k observations.
+func TestQuantileUniform(t *testing.T) {
+	s := rng.New(11)
+	const n = 100_000
+	qs := NewQuantiles(0.5, 0.95, 0.99)
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := 100 * s.Float64()
+		qs.Add(x)
+		vals = append(vals, x)
+	}
+	sort.Float64s(vals)
+	for i, p := range []float64{0.5, 0.95, 0.99} {
+		got := qs.Values()[i]
+		want := exactQuantile(vals, p)
+		if math.Abs(got-want) > 0.02*100 {
+			t.Errorf("p%.0f: estimate %.3f, exact %.3f", p*100, got, want)
+		}
+	}
+	if qs.Count() != n {
+		t.Errorf("Count = %d, want %d", qs.Count(), n)
+	}
+}
+
+// TestQuantileSkewed checks accuracy on a heavy-tailed (exponential)
+// stream, the shape fleet-energy distributions take.
+func TestQuantileSkewed(t *testing.T) {
+	s := rng.New(23)
+	const n = 200_000
+	est := map[float64]*Quantile{
+		0.5:  NewQuantile(0.5),
+		0.95: NewQuantile(0.95),
+		0.99: NewQuantile(0.99),
+	}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := -math.Log(1 - s.Float64())
+		for _, e := range est {
+			e.Add(x)
+		}
+		vals = append(vals, x)
+	}
+	sort.Float64s(vals)
+	for p, e := range est {
+		want := exactQuantile(vals, p)
+		if rel := math.Abs(e.Value()-want) / want; rel > 0.05 {
+			t.Errorf("p%.0f: estimate %.4f, exact %.4f (rel err %.3f)", p*100, e.Value(), want, rel)
+		}
+	}
+}
+
+// TestQuantileSmallStreams pins exact behavior below the five-marker
+// threshold and sane behavior at it.
+func TestQuantileSmallStreams(t *testing.T) {
+	e := NewQuantile(0.5)
+	if e.Value() != 0 {
+		t.Errorf("empty estimator Value = %g, want 0", e.Value())
+	}
+	e.Add(7)
+	if e.Value() != 7 {
+		t.Errorf("single observation Value = %g, want 7", e.Value())
+	}
+	e.Add(1)
+	e.Add(9)
+	if e.Value() != 7 {
+		t.Errorf("3-observation median = %g, want 7", e.Value())
+	}
+	m := NewQuantile(0.5)
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		m.Add(x)
+	}
+	if m.Value() != 3 {
+		t.Errorf("5-observation median = %g, want 3", m.Value())
+	}
+}
+
+// TestQuantileDeterministic pins that the estimate is a pure function
+// of the observation sequence.
+func TestQuantileDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s := rng.New(99)
+		qs := NewQuantiles(0.5, 0.9)
+		for i := 0; i < 10_000; i++ {
+			qs.Add(s.Float64() * float64(1+i%7))
+		}
+		return qs.Values()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic estimate: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestQuantileMillionStream exercises the exporter's target scale: a
+// million observations stream through three estimators with no
+// materialization and bounded error.
+func TestQuantileMillionStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-observation stream in -short mode")
+	}
+	s := rng.New(7)
+	qs := NewQuantiles(0.5, 0.95, 0.99)
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		qs.Add(10 + 90*s.Float64())
+	}
+	v := qs.Values()
+	// Uniform on [10, 100): the exact quantiles are 55, 95.5, 99.1.
+	for i, want := range []float64{55, 95.5, 99.1} {
+		if math.Abs(v[i]-want) > 1.0 {
+			t.Errorf("quantile %d: %.3f, want ~%.1f", i, v[i], want)
+		}
+	}
+}
+
+// TestQuantilesMonotone: Values never reports a lower estimate for a
+// higher probability, even on spiky multi-modal streams where the
+// independent P² estimators can cross — and regardless of the order
+// the probabilities were requested in.
+func TestQuantilesMonotone(t *testing.T) {
+	s := rng.New(11)
+	qs := NewQuantiles(0.99, 0.5, 0.95) // deliberately unsorted
+	// Three narrow spikes (a tiered fleet's energy distribution).
+	centers := []float64{1, 10, 100}
+	for i := 0; i < 50_000; i++ {
+		c := centers[int(s.Uint64()%3)]
+		qs.Add(c * (1 + 0.01*s.Float64()))
+	}
+	v := qs.Values()
+	if v[2] < v[1] { // p95 >= p50
+		t.Errorf("p95 %.4f below p50 %.4f", v[2], v[1])
+	}
+	if v[0] < v[2] { // p99 >= p95
+		t.Errorf("p99 %.4f below p95 %.4f", v[0], v[2])
+	}
+}

@@ -1,0 +1,425 @@
+package sim
+
+// This file is the asynchronous half of the engine: the ModeAsync and
+// ModeSemiAsync aggregation regimes. Where the synchronous path runs a
+// barrier — every round waits for its cohort or the straggler deadline
+// — the async path dispatches selected devices and lets their
+// completions become events on the virtual-time queue (vtime). Each
+// Step is one *aggregation*: ModeAsync applies the single next arrival
+// (FedAsync-style), ModeSemiAsync waits for a quorum of AggregateK
+// arrivals or a deadline (APPFL-style). Nothing is dropped: a device
+// that misses a semi-async deadline keeps computing and its update
+// rolls into a later model version with higher staleness, discounted
+// by 1/(1+s)^α in the convergence model.
+//
+// Determinism mirrors the population engine's contract: all stochastic
+// draws come from the same sequential (legacy) or identity-keyed
+// (population) streams the synchronous path uses, and event ordering
+// is total via the queue's (time, push-order) comparison — so async
+// traces are a pure function of the config, independent of Shards,
+// GOMAXPROCS, and distributed execution.
+
+import (
+	"math"
+
+	"autofl/internal/interference"
+	"autofl/internal/power"
+	"autofl/internal/rng"
+	"autofl/internal/sim/vtime"
+)
+
+// maxTrackedStaleness caps the per-device staleness memory fed back to
+// policies (the packed int8 array); the discount weight still uses the
+// exact staleness.
+const maxTrackedStaleness = 127
+
+// flight is one in-transit model update: a dispatched device whose
+// completion event is pending on the queue.
+type flight struct {
+	used     bool
+	dev      int32
+	dispatch int32
+	target   int8
+	step     int16
+	compSec  float64
+	commSec  float64
+	cleanSec float64
+}
+
+// asyncState is the engine's asynchronous-aggregation state: the event
+// queue, the in-flight update table, and the per-device staleness
+// memory.
+type asyncState struct {
+	q vtime.Queue
+	// flights is a slot table of in-flight updates; event payloads are
+	// slot indices. Slots are reused scan-first-free, so the table
+	// never exceeds the in-flight cap (Params.K).
+	flights []flight
+	// busy marks devices with an update in flight; they are skipped at
+	// dispatch (a device trains one update at a time).
+	busy []bool
+	// lastStale records each device's most recent applied-update
+	// staleness, surfaced to policies via DeviceState.Staleness.
+	lastStale []int8
+	inFlight  int
+	now       float64
+	// arrivals is the reused per-round applied-updates buffer.
+	arrivals []ArrivalUpdate
+	// clean is scratch for deriving the semi-async deadline from the
+	// in-flight cohort.
+	clean []float64
+}
+
+func newAsyncState(n int) *asyncState {
+	return &asyncState{
+		busy:      make([]bool, n),
+		lastStale: make([]int8, n),
+	}
+}
+
+// alloc places a flight in the first free slot and returns its index.
+func (a *asyncState) alloc(f flight) int {
+	f.used = true
+	for i := range a.flights {
+		if !a.flights[i].used {
+			a.flights[i] = f
+			return i
+		}
+	}
+	a.flights = append(a.flights, f)
+	return len(a.flights) - 1
+}
+
+// runRoundAsync executes one asynchronous aggregation step: observe,
+// dispatch selected idle devices (their completions become events),
+// then pop this step's arrivals from the queue and apply them with
+// staleness-discounted weights. It serves both the legacy-fleet and
+// the sampled-population paths.
+func (e *Engine) runRoundAsync(pol Policy, round int, accuracy float64, sc *roundScratch) (*RoundContext, *RoundResult) {
+	a := e.async
+	p := e.pop
+
+	var ctx *RoundContext
+	if p != nil {
+		ctx = e.observePop(sc, round, accuracy)
+	} else {
+		ctx = e.observe(sc, round, accuracy)
+	}
+	selections := sanitize(sc, ctx, pol.Select(ctx))
+
+	traits := AggregationTraits{}
+	if tp, ok := pol.(TraitsPolicy); ok {
+		traits = tp.Traits()
+	}
+
+	k := len(ctx.Devices)
+	res := &sc.res
+	devRounds := res.Devices
+	if cap(devRounds) < k {
+		devRounds = make([]DeviceRound, k)
+	}
+	devRounds = devRounds[:k]
+	*res = RoundResult{
+		Round:        round,
+		PrevAccuracy: accuracy,
+		Devices:      devRounds,
+	}
+	for v := range res.Devices {
+		g := v
+		if p != nil {
+			g = int(sc.cand[v])
+		}
+		res.Devices[v] = DeviceRound{Index: g}
+	}
+
+	// Dispatch: every selected device that is not already training
+	// starts now, up to Params.K updates in flight. Its completion is
+	// pushed as an event; its energy is charged at dispatch (the whole
+	// busy window belongs to this model version's work).
+	dispatched := 0
+	for _, sel := range selections {
+		dr := &res.Devices[sel.Index]
+		g := dr.Index
+		if a.busy[g] || a.inFlight >= ctx.Params.K {
+			continue
+		}
+		var actual interference.Load
+		if p != nil {
+			st := p.actRng.Seed(rng.Mix(p.actSeed, uint64(round), uint64(g)))
+			actual = e.cfg.Env.Interference.Actual(st, ctx.Devices[sel.Index].Load)
+		} else {
+			actual = e.cfg.Env.Interference.Actual(e.envRng, ctx.Devices[sel.Index].Load)
+		}
+		comp, comm := ctx.estimateWithLoad(sel.Index, sel.Target, sel.Step, actual)
+		cleanComp, cleanComm := ctx.CleanCompletionTime(sel.Index)
+		dr.Selected = true
+		dr.Target = sel.Target
+		dr.Step = sel.Step
+		dr.CompSec, dr.CommSec = comp, comm
+		// The update always reaches the server eventually — async
+		// regimes drop nothing — so learning policies see a kept
+		// (possibly stale) contribution, not a straggler punishment.
+		dr.UpdateFraction = 1
+
+		spec := ctx.Devices[sel.Index].Device.Spec
+		busySec := comp + comm
+		activeJ := power.ParticipantRoundEnergy(spec, sel.Target, sel.Step, ctx.Devices[sel.Index].Signal, power.Phases{
+			SetupSec:  spec.SetupSec,
+			CrunchSec: comp - spec.SetupSec,
+			CommSec:   comm,
+			RoundSec:  busySec,
+		})
+		dr.EnergyJ = activeJ
+		res.EnergyParticipantsJ += activeJ
+		// Fleet energy counts the whole population idle for the round
+		// (added once roundSec is known) plus each dispatched device's
+		// energy above its own idle draw over its busy window.
+		res.EnergyTotalJ += activeJ - spec.IdleWatts()*busySec
+
+		slot := a.alloc(flight{
+			dev:      int32(g),
+			dispatch: int32(round),
+			target:   int8(sel.Target),
+			step:     int16(sel.Step),
+			compSec:  comp,
+			commSec:  comm,
+			cleanSec: cleanComp + cleanComm,
+		})
+		a.q.Push(a.now+busySec, int64(slot))
+		a.busy[g] = true
+		a.inFlight++
+		dispatched++
+
+		if p != nil {
+			p.extraJ[g] += activeJ - spec.IdleWatts()*busySec
+			p.lastStep[g] = int8(sel.Step)
+			p.lastTarget[g] = int8(sel.Target)
+		}
+	}
+	res.Participants = dispatched
+
+	// Aggregate: pop this step's arrivals from the queue.
+	arrivals := a.arrivals[:0]
+	roundSec := 0.0
+	switch e.cfg.Mode {
+	case ModeAsync:
+		// One aggregation per arrival: virtual time jumps to the next
+		// completion.
+		res.Deadline = math.Inf(1)
+		if ev, ok := a.q.Pop(); ok {
+			roundSec = ev.Time - a.now
+			arrivals = append(arrivals, e.takeFlight(ev.Payload, round))
+		} else {
+			roundSec = e.cfg.Env.Network.BaseLatencySec
+		}
+	case ModeSemiAsync:
+		// Aggregate at AggregateK arrivals or the deadline, whichever
+		// first; later completions stay queued for the next version.
+		deadline := e.cfg.AggregateDeadlineSec
+		if deadline <= 0 {
+			clean := a.clean[:0]
+			for i := range a.flights {
+				if a.flights[i].used {
+					clean = append(clean, a.flights[i].cleanSec)
+				}
+			}
+			a.clean = clean
+			if len(clean) > 0 {
+				deadline = e.cfg.StragglerFactor * median(clean)
+			} else {
+				deadline = e.cfg.Env.Network.BaseLatencySec
+			}
+		}
+		res.Deadline = deadline
+		cutoff := a.now + deadline
+		last := a.now
+		for len(arrivals) < e.cfg.AggregateK {
+			ev, ok := a.q.Peek()
+			if !ok || ev.Time > cutoff {
+				break
+			}
+			a.q.Pop()
+			last = ev.Time
+			arrivals = append(arrivals, e.takeFlight(ev.Payload, round))
+		}
+		if len(arrivals) >= e.cfg.AggregateK {
+			roundSec = last - a.now
+		} else {
+			roundSec = deadline
+		}
+	}
+	a.arrivals = arrivals
+	res.Arrivals = arrivals
+	res.Kept = len(arrivals)
+	res.PendingUpdates = a.inFlight
+	res.RoundSec = roundSec
+	a.now += roundSec
+	e.vnow = a.now
+	res.VirtualSec = a.now
+
+	staleSum := 0
+	for i := range arrivals {
+		staleSum += arrivals[i].Staleness
+		if arrivals[i].Staleness > res.MaxStaleness {
+			res.MaxStaleness = arrivals[i].Staleness
+		}
+	}
+	if len(arrivals) > 0 {
+		res.MeanStaleness = float64(staleSum) / float64(len(arrivals))
+	}
+
+	// Fleet-wide idle energy for the step's duration, plus idle
+	// records for undispatched view rows (observability only; totals
+	// are accounted above).
+	res.EnergyTotalJ += ctx.FleetIdleWatts() * roundSec
+	for v := range res.Devices {
+		dr := &res.Devices[v]
+		if !dr.Selected {
+			dr.EnergyJ = power.IdleEnergy(ctx.Devices[v].Device.Spec.IdleWatts(), roundSec)
+		}
+	}
+	if p != nil {
+		p.idleSec += roundSec
+	}
+
+	res.Accuracy = e.advanceAsync(ctx, res, traits)
+	return ctx, res
+}
+
+// takeFlight retires the flight in the given slot as an applied
+// arrival at the given aggregation round, computing its staleness
+// discount and releasing the device.
+func (e *Engine) takeFlight(slot int64, round int) ArrivalUpdate {
+	a := e.async
+	f := &a.flights[slot]
+	s := round - int(f.dispatch)
+	f.used = false
+	a.inFlight--
+	a.busy[f.dev] = false
+	tracked := s
+	if tracked > maxTrackedStaleness {
+		tracked = maxTrackedStaleness
+	}
+	a.lastStale[f.dev] = int8(tracked)
+	return ArrivalUpdate{
+		Index:         int(f.dev),
+		DispatchRound: int(f.dispatch),
+		Staleness:     s,
+		Weight:        1 / math.Pow(1+float64(s), e.cfg.StalenessAlpha),
+		CompSec:       f.compSec,
+		CommSec:       f.commSec,
+	}
+}
+
+// advanceAsync is the convergence step over this round's arrivals: the
+// synchronous accuracy dynamics with each update's mass discounted by
+// its staleness weight — stale gradients both contribute less and slow
+// effective progress, the staleness penalty of async FedAvg.
+func (e *Engine) advanceAsync(ctx *RoundContext, res *RoundResult, traits AggregationTraits) float64 {
+	m := e.conv
+	p := e.pop
+	acc := res.PrevAccuracy
+
+	mass, qualMass, stability := 0.0, 0.0, 0.0
+	keptCount := 0
+	var orMask uint64
+	classCount := 0
+	if p == nil {
+		classSeen := m.classSeen
+		for i := range classSeen {
+			classSeen[i] = false
+		}
+		kept := m.kept
+		for i := range kept {
+			kept[i] = false
+		}
+	}
+	for i := range res.Arrivals {
+		ar := &res.Arrivals[i]
+		g := ar.Index
+		var samples, q float64
+		if p != nil {
+			samples = float64(p.part.Samples[g])
+			q = float64(p.part.Quality[g])
+			if traits.DivergenceDamping > 0 {
+				q += traits.DivergenceDamping * (1 - q)
+				if q > 1 {
+					q = 1
+				}
+			}
+			orMask |= p.part.Mask[g]
+			stability += p.emaAt(g, res.Round)
+			p.emaBump(g, res.Round)
+		} else {
+			d := &e.partition[g]
+			samples = float64(d.Samples)
+			q = quality(d, traits)
+			for _, c := range d.Classes {
+				if !m.classSeen[c] {
+					m.classSeen[c] = true
+					classCount++
+				}
+			}
+			m.kept[g] = true
+			stability += m.emaPart[g]
+		}
+		if traits.NormalizedWeights {
+			samples = float64(ctx.Workload.Dataset.SamplesPerDevice)
+		}
+		w := ar.Weight * float64(ctx.Params.E) * samples
+		mass += w
+		qualMass += w * q
+		keptCount++
+	}
+	if p == nil {
+		// Legacy participation memory: the eager decay sweep of the
+		// synchronous model, with this step's arrivals as the cohort.
+		for i := range m.emaPart {
+			w := m.emaPart[i] * emaDecay
+			if m.kept[i] {
+				w += 1 - emaDecay
+			}
+			if w < 1e-6 {
+				w = 0
+			}
+			m.emaPart[i] = w
+		}
+	}
+	if mass <= 0 {
+		return acc
+	}
+	meanQ := qualMass / mass
+	var coverage float64
+	if p != nil {
+		coverage = p.part.Coverage(orMask)
+	} else {
+		coverage = float64(classCount) / float64(m.classes)
+	}
+	stability /= float64(keptCount)
+	if stability > 1 {
+		stability = 1
+	}
+	roundQ := meanQ + (1-meanQ)*stabilityWeight*stability*coverage
+	effCeiling := m.floor + plateau(roundQ)*(m.ceiling-m.floor)
+	rate := m.baseRate * math.Pow(mass/m.referenceMass, massExponent)
+	rate *= math.Pow(roundQ, qualityRateExp)
+	rate *= 1 + e.accRng.Normal(0, m.noiseSigma)
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 0.5 {
+		rate = 0.5
+	}
+	if effCeiling > acc {
+		acc += rate * (effCeiling - acc)
+	} else {
+		acc -= regressFraction * rate * (acc - effCeiling)
+	}
+	if acc < m.floor {
+		acc = m.floor
+	}
+	if acc > m.ceiling {
+		acc = m.ceiling
+	}
+	return acc
+}

@@ -58,5 +58,34 @@ func (c *Config) validate() error {
 	} else if c.Params.K > n {
 		return configErrf("Params.K", "participant count %d exceeds the %d-device fleet", c.Params.K, n)
 	}
+	switch c.Mode {
+	case ModeSync, ModeAsync, ModeSemiAsync:
+	default:
+		return configErrf("Mode", "unknown aggregation mode %q (want sync, async, or semi-async)", c.Mode)
+	}
+	if c.StalenessAlpha < 0 {
+		return configErrf("StalenessAlpha", "negative staleness exponent %g", c.StalenessAlpha)
+	}
+	if c.Mode == ModeSync && c.StalenessAlpha != 0 {
+		return configErrf("StalenessAlpha", "staleness weighting requires an asynchronous Mode")
+	}
+	if c.Mode != ModeSemiAsync {
+		if c.AggregateK != 0 {
+			return configErrf("AggregateK", "aggregation quorum requires Mode semi-async")
+		}
+		if c.AggregateDeadlineSec != 0 {
+			return configErrf("AggregateDeadlineSec", "aggregation deadline requires Mode semi-async")
+		}
+	} else {
+		if c.AggregateK < 0 {
+			return configErrf("AggregateK", "negative aggregation quorum %d", c.AggregateK)
+		}
+		if c.AggregateK > c.Params.K {
+			return configErrf("AggregateK", "aggregation quorum %d exceeds the in-flight cap Params.K=%d", c.AggregateK, c.Params.K)
+		}
+		if c.AggregateDeadlineSec < 0 {
+			return configErrf("AggregateDeadlineSec", "negative aggregation deadline %gs", c.AggregateDeadlineSec)
+		}
+	}
 	return nil
 }

@@ -224,6 +224,11 @@ func (e *Engine) fillView(shard, lo, hi, round int, cand []int32, devs []device.
 			Signal:        network.SignalFor(bw),
 			Data:          &dd[v],
 		}
+		if e.async != nil {
+			// Reads only: async bookkeeping mutates lastStale during
+			// aggregation, never during the parallel observe pass.
+			devices[v].Staleness = int(e.async.lastStale[g])
+		}
 	}
 }
 
@@ -286,32 +291,13 @@ func (e *Engine) runRoundPop(pol Policy, round int, accuracy float64, sc *roundS
 	}
 	res.Deadline = deadline
 
-	roundSec := 0.0
-	for _, sel := range selections {
-		dr := &res.Devices[sel.Index]
-		total := dr.CompSec + dr.CommSec
-		if total <= deadline {
-			dr.UpdateFraction = 1
-			res.Kept++
-			if total > roundSec {
-				roundSec = total
-			}
-			continue
-		}
-		dr.Dropped = true
-		res.DroppedStragglers++
-		if traits.PartialUpdates {
-			dr.UpdateFraction = deadline / total
-			res.Kept++
-		}
-		if deadline > roundSec {
-			roundSec = deadline
-		}
-	}
+	roundSec := e.resolveBarrier(selections, res, deadline, traits)
 	if len(selections) == 0 {
 		roundSec = e.cfg.Env.Network.BaseLatencySec
 	}
 	res.RoundSec = roundSec
+	e.vnow += roundSec
+	res.VirtualSec = e.vnow
 
 	// Fleet-wide energy in O(participants): the idle baseline is the
 	// population idle draw for the round, minus the participants' own
@@ -450,6 +436,11 @@ func (e *Engine) PopulationMemoryBytes() int {
 	}
 	perDevice := len(p.emaW)*4 + len(p.emaRound)*4 + len(p.lastStep) +
 		len(p.lastTarget) + len(p.extraJ)*8 + p.sampler.Len()*4
+	if e.async != nil {
+		// Asynchronous regimes add two packed bytes per device: the
+		// busy flag and the last-staleness record.
+		perDevice += len(e.async.busy) + len(e.async.lastStale)
+	}
 	return p.part.MemoryBytes() + perDevice
 }
 

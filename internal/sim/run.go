@@ -6,6 +6,8 @@ package sim
 // cmd/autoflsim, and the traced sweep runner are all built on it;
 // Engine.Run itself is a Start/Step/Result loop.
 
+import "autofl/internal/device"
+
 // RoundInfo summarizes the most recently stepped round of a Run — the
 // per-round view an observer sees, assembled from engine-owned scratch
 // without allocating.
@@ -23,6 +25,14 @@ type RoundInfo struct {
 	// Participants counts selected devices; Kept the updates that
 	// reached aggregation; Dropped the deadline-missing stragglers.
 	Participants, Kept, Dropped int
+	// VirtualSec is the virtual clock after the round (cumulative
+	// round seconds).
+	VirtualSec float64
+	// Pending counts updates still in flight after the round's
+	// aggregation; MeanStaleness averages the staleness of the
+	// updates it applied. Both are 0 in synchronous runs.
+	Pending       int
+	MeanStaleness float64
 	// Converged reports whether this round reached the accuracy
 	// target (and therefore ended the run).
 	Converged bool
@@ -44,7 +54,10 @@ type Run struct {
 	acc   float64
 	last  RoundInfo
 	out   Result
-	done  bool
+	// staleSum accumulates per-round mean staleness for the run-level
+	// average.
+	staleSum float64
+	done     bool
 }
 
 // Start opens a stepwise run of the policy. The result buffers are
@@ -87,7 +100,9 @@ func (r *Run) Step() bool {
 		Sec:                res.RoundSec,
 		EnergyJ:            res.EnergyTotalJ,
 		ParticipantEnergyJ: res.EnergyParticipantsJ,
+		MeanStale:          res.MeanStaleness,
 	})
+	r.staleSum += res.MeanStaleness
 	r.out.TimeToTargetSec += res.RoundSec
 	r.out.EnergyToTargetJ += res.EnergyTotalJ
 	r.out.ParticipantEnergyToTargetJ += res.EnergyParticipantsJ
@@ -110,6 +125,9 @@ func (r *Run) Step() bool {
 		Participants:       res.Participants,
 		Kept:               res.Kept,
 		Dropped:            res.DroppedStragglers,
+		VirtualSec:         res.VirtualSec,
+		Pending:            res.PendingUpdates,
+		MeanStaleness:      res.MeanStaleness,
 		Converged:          converged,
 	}
 	return true
@@ -132,6 +150,7 @@ func (r *Run) finalizeInto(out *Result) {
 	if out.Rounds > 0 {
 		out.MeanRoundSec = out.TimeToTargetSec / float64(out.Rounds)
 		out.MeanRoundEnergyJ = out.EnergyToTargetJ / float64(out.Rounds)
+		out.MeanStaleness = r.staleSum / float64(out.Rounds)
 	}
 	if rt, ok := r.p.(interface{ RewardTrace() []float64 }); ok {
 		out.RewardTrace = rt.RewardTrace()
@@ -155,4 +174,20 @@ func (r *Run) Result() *Result {
 	r.done = true
 	r.finalizeInto(&r.out)
 	return &r.out
+}
+
+// PopulationLen is the sampled population's device count, 0 for legacy
+// fleet runs. Together with DeviceSnapshot it lets callers stream
+// fleet-wide per-device distributions without materializing the fleet.
+func (r *Run) PopulationLen() int {
+	if r.e.pop == nil {
+		return 0
+	}
+	return r.e.pop.n
+}
+
+// DeviceSnapshot exposes the engine's O(1) population-mode per-device
+// snapshot (see Engine.DeviceSnapshot) for the run's current state.
+func (r *Run) DeviceSnapshot(i int) (step int, target device.Target, energyJ float64, ok bool) {
+	return r.e.DeviceSnapshot(i)
 }

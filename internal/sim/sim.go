@@ -20,7 +20,27 @@ import (
 	"autofl/internal/network"
 	"autofl/internal/power"
 	"autofl/internal/rng"
+	"autofl/internal/sim/vtime"
 	"autofl/internal/workload"
+)
+
+// AggregationMode selects the server's aggregation regime.
+type AggregationMode string
+
+const (
+	// ModeSync is the paper's bulk-synchronous FedAvg: every round
+	// waits for its cohort (or the straggler deadline) before
+	// aggregating. The empty string defaults to it.
+	ModeSync AggregationMode = "sync"
+	// ModeAsync applies each device update the moment it arrives,
+	// discounted by staleness (APPFL/FedAsync-style): one aggregation
+	// step per arrival, no barrier, no drops.
+	ModeAsync AggregationMode = "async"
+	// ModeSemiAsync aggregates when AggregateK updates have arrived or
+	// the aggregation deadline expires; stragglers are not dropped —
+	// their updates roll into the next model version with higher
+	// staleness.
+	ModeSemiAsync AggregationMode = "semi-async"
 )
 
 // Env bundles the runtime-variance sources of one execution
@@ -97,12 +117,37 @@ type Config struct {
 	// devices are dropped from the aggregation (§3.2). Zero selects
 	// DefaultStragglerFactor.
 	StragglerFactor float64
+	// Mode selects the aggregation regime: ModeSync (default),
+	// ModeAsync, or ModeSemiAsync. The asynchronous regimes resolve
+	// device completions through the virtual-time event queue
+	// (internal/sim/vtime) instead of a round barrier.
+	Mode AggregationMode
+	// StalenessAlpha is the α of the asynchronous staleness discount
+	// 1/(1+s)^α applied to an update dispatched s model versions ago.
+	// Zero selects DefaultStalenessAlpha in the async regimes; setting
+	// it with ModeSync is a ConfigError.
+	StalenessAlpha float64
+	// AggregateK is the semi-async aggregation quorum: the server
+	// aggregates as soon as this many updates have arrived. Zero
+	// selects ceil(K/2). Only valid with ModeSemiAsync.
+	AggregateK int
+	// AggregateDeadlineSec bounds how long a semi-async aggregation
+	// step waits for its quorum; on expiry the server aggregates
+	// whatever arrived and stragglers roll into the next version. Zero
+	// derives a deadline per step from the in-flight cohort's clean
+	// completion times (StragglerFactor × median). Only valid with
+	// ModeSemiAsync.
+	AggregateDeadlineSec float64
 }
 
 // Defaults used when Config fields are zero.
 const (
 	DefaultMaxRounds       = 1000
 	DefaultStragglerFactor = 2.0
+	// DefaultStalenessAlpha is the async staleness-discount exponent
+	// when Config.StalenessAlpha is zero: stale updates still help, at
+	// 1/sqrt-ish decaying weight.
+	DefaultStalenessAlpha = 0.5
 	// TargetFraction positions the default accuracy target between the
 	// workload's floor and ceiling. It sits high enough that heavily
 	// non-IID populations under random selection plateau below it
@@ -140,6 +185,15 @@ func (c *Config) withDefaults() Config {
 	if out.StragglerFactor <= 0 {
 		out.StragglerFactor = DefaultStragglerFactor
 	}
+	if out.Mode == "" {
+		out.Mode = ModeSync
+	}
+	if out.Mode != ModeSync && out.StalenessAlpha == 0 {
+		out.StalenessAlpha = DefaultStalenessAlpha
+	}
+	if out.Mode == ModeSemiAsync && out.AggregateK == 0 {
+		out.AggregateK = (out.Params.K + 1) / 2
+	}
 	return out
 }
 
@@ -157,6 +211,11 @@ type DeviceState struct {
 	Signal power.Signal
 	// Data summarizes the local dataset (static across rounds).
 	Data *data.DeviceData
+	// Staleness is the model-version staleness of the device's most
+	// recently applied update (0 before any arrival and in ModeSync).
+	// The AutoFL controller buckets it into its packed state, so the
+	// Q-table can learn the async regime's in-flight dynamics.
+	Staleness int
 }
 
 // RoundContext is everything a policy sees when selecting participants
@@ -291,6 +350,38 @@ type RoundResult struct {
 	Kept int
 	// DroppedStragglers counts deadline-missing participants.
 	DroppedStragglers int
+	// VirtualSec is the virtual clock after this round: the cumulative
+	// RoundSec over the run, which the async regimes advance through
+	// the event queue.
+	VirtualSec float64
+	// PendingUpdates counts updates still in flight after this round's
+	// aggregation (0 in ModeSync).
+	PendingUpdates int
+	// MeanStaleness and MaxStaleness summarize the model-version
+	// staleness of the updates applied this round (0 in ModeSync,
+	// where every kept update is fresh).
+	MeanStaleness float64
+	MaxStaleness  int
+	// Arrivals lists the updates an asynchronous round applied, in
+	// virtual-time arrival order; nil in ModeSync. Like Devices, it is
+	// an engine-owned buffer reused across rounds.
+	Arrivals []ArrivalUpdate
+}
+
+// ArrivalUpdate is one device update applied by an asynchronous
+// aggregation step.
+type ArrivalUpdate struct {
+	// Index is the global device index.
+	Index int
+	// DispatchRound is the model version the update trained on;
+	// Staleness = aggregation round − DispatchRound.
+	DispatchRound int
+	Staleness     int
+	// Weight is the staleness discount 1/(1+s)^α the aggregator
+	// applied.
+	Weight float64
+	// CompSec and CommSec echo the completed execution times.
+	CompSec, CommSec float64
 }
 
 // RoundTrace is the compact per-round record a run accumulates —
@@ -306,6 +397,10 @@ type RoundTrace struct {
 	// participants-only energies.
 	EnergyJ            float64
 	ParticipantEnergyJ float64
+	// MeanStale is the round's mean applied-update staleness (always 0
+	// in ModeSync); replaying a trace prefix reproduces the horizon's
+	// staleness summary exactly.
+	MeanStale float64
 }
 
 // Result summarizes a full FL run.
@@ -340,6 +435,9 @@ type Result struct {
 	RewardTrace []float64
 	// Rounds is the number of rounds executed.
 	Rounds int
+	// MeanStaleness averages the per-round mean applied-update
+	// staleness over the executed horizon (0 for ModeSync runs).
+	MeanStaleness float64
 	// MeanRoundSec and MeanRoundEnergyJ are per-round averages over
 	// the executed horizon.
 	MeanRoundSec     float64
@@ -533,6 +631,14 @@ type Engine struct {
 	// pop holds the sampled-population state; nil on the exhaustive
 	// path (see population.go).
 	pop *popState
+	// async holds the asynchronous-aggregation state; nil in ModeSync
+	// (see async.go).
+	async *asyncState
+	// barrier is the virtual-time queue the synchronous path resolves
+	// its round barrier through; reused across rounds.
+	barrier vtime.Queue
+	// vnow is the engine's virtual clock: cumulative round seconds.
+	vnow float64
 
 	// scratch holds the Run loop's reusable round buffers; the
 	// exported RunRound allocates fresh ones per call so its returned
@@ -603,6 +709,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 			c.Workload.Dataset.Classes, c.Workload.Dataset.SamplesPerDevice)
 	}
 	e.conv = newConvergenceModel(&e.cfg)
+	if e.cfg.Mode != ModeSync {
+		n := len(e.cfg.Fleet)
+		if e.pop != nil {
+			n = e.pop.n
+		}
+		e.async = newAsyncState(n)
+	}
 	return e, nil
 }
 
@@ -638,6 +751,9 @@ func (e *Engine) observe(sc *roundScratch, round int, accuracy float64) *RoundCo
 			Signal:        network.SignalFor(bw),
 			Data:          &e.partition[i],
 		}
+		if e.async != nil {
+			devices[i].Staleness = int(e.async.lastStale[i])
+		}
 	}
 	// Cache the fleet idle draw once per round. The loop order matches
 	// the on-demand FleetIdleWatts sum, so the cached value is
@@ -663,6 +779,9 @@ func (e *Engine) RunRound(p Policy, round int, accuracy float64) (*RoundContext,
 // runRound is the round engine proper, operating on caller-provided
 // scratch buffers.
 func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratch) (*RoundContext, *RoundResult) {
+	if e.async != nil {
+		return e.runRoundAsync(p, round, accuracy, sc)
+	}
 	if e.pop != nil {
 		return e.runRoundPop(p, round, accuracy, sc)
 	}
@@ -720,37 +839,16 @@ func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratc
 	}
 	res.Deadline = deadline
 
-	// Determine kept updates and the round duration.
-	roundSec := 0.0
-	for _, sel := range selections {
-		dr := &res.Devices[sel.Index]
-		total := dr.CompSec + dr.CommSec
-		if total <= deadline {
-			dr.UpdateFraction = 1
-			res.Kept++
-			if total > roundSec {
-				roundSec = total
-			}
-			continue
-		}
-		dr.Dropped = true
-		res.DroppedStragglers++
-		if traits.PartialUpdates {
-			// FedProx/FedNova-style partial work proportional to the
-			// share of local training finished by the deadline.
-			frac := deadline / total
-			dr.UpdateFraction = frac
-			res.Kept++
-		}
-		// A straggler burns the deadline window regardless.
-		if deadline > roundSec {
-			roundSec = deadline
-		}
-	}
+	// Resolve the round barrier through the virtual-time event queue:
+	// every participant's completion is an event, popped in completion
+	// order.
+	roundSec := e.resolveBarrier(selections, res, deadline, traits)
 	if len(selections) == 0 {
 		roundSec = e.cfg.Env.Network.BaseLatencySec
 	}
 	res.RoundSec = roundSec
+	e.vnow += roundSec
+	res.VirtualSec = e.vnow
 
 	// Energy accounting for the whole fleet.
 	for i := range ctx.Devices {
@@ -786,6 +884,54 @@ func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratc
 	// Advance the global model.
 	res.Accuracy = e.conv.advance(e.accRng, ctx, res, traits)
 	return ctx, res
+}
+
+// resolveBarrier resolves one bulk-synchronous aggregation barrier
+// through the virtual-time event queue: each selection's completion
+// time is pushed as an event and popped in (time, dispatch-order)
+// order, classifying on-time participants versus deadline-missing
+// stragglers and returning the round duration. The classification and
+// the resulting floats are identical to the pre-queue selection-order
+// loop — kept/dropped is per-event, and the duration is a max over the
+// same values — so routing the barrier through the queue changes no
+// output bytes; it exists so sync and async share one event substrate.
+func (e *Engine) resolveBarrier(selections []Selection, res *RoundResult, deadline float64, traits AggregationTraits) float64 {
+	q := &e.barrier
+	q.Reset()
+	for _, sel := range selections {
+		dr := &res.Devices[sel.Index]
+		q.Push(dr.CompSec+dr.CommSec, int64(sel.Index))
+	}
+	roundSec := 0.0
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		dr := &res.Devices[ev.Payload]
+		total := ev.Time
+		if total <= deadline {
+			dr.UpdateFraction = 1
+			res.Kept++
+			if total > roundSec {
+				roundSec = total
+			}
+			continue
+		}
+		dr.Dropped = true
+		res.DroppedStragglers++
+		if traits.PartialUpdates {
+			// FedProx/FedNova-style partial work proportional to the
+			// share of local training finished by the deadline.
+			dr.UpdateFraction = deadline / total
+			res.Kept++
+		}
+		// A straggler burns the deadline window regardless.
+		if deadline > roundSec {
+			roundSec = deadline
+		}
+	}
+	return roundSec
 }
 
 // Run executes rounds until the accuracy target or MaxRounds, feeding

@@ -1,0 +1,117 @@
+// Package vtime is the engine's deterministic virtual-time event
+// queue: a binary min-heap of (time, sequence) pairs whose pop order
+// is a pure function of the push sequence — events at equal times pop
+// in push order, never in heap-internal or map-iteration order. Both
+// the bulk-synchronous barrier and the asynchronous aggregation
+// regimes of internal/sim resolve device completions through it, so
+// identical configs replay byte-identically regardless of GOMAXPROCS,
+// shard count, or scheduling.
+//
+// The queue allocates only when its backing array grows; Reset keeps
+// the array for reuse, so steady-state rounds push and pop with zero
+// allocation.
+package vtime
+
+// Event is one scheduled occurrence on the virtual clock.
+type Event struct {
+	// Time is the virtual timestamp, in simulated seconds.
+	Time float64
+	// Seq is the queue-assigned push sequence number; it breaks ties
+	// between events at equal times (earlier push pops first), making
+	// the pop order total and deterministic.
+	Seq uint64
+	// Payload identifies the event for the caller (the engine stores a
+	// flight-slot or view index here).
+	Payload int64
+}
+
+// before is the heap ordering: strictly earlier time, or equal time
+// and earlier push.
+func (e Event) before(o Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	return e.Seq < o.Seq
+}
+
+// Queue is a deterministic virtual-time event queue. The zero value is
+// ready to use.
+type Queue struct {
+	h   []Event
+	seq uint64
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules an event at the given virtual time. Push order is
+// remembered: among events with equal times, the earliest push pops
+// first.
+func (q *Queue) Push(t float64, payload int64) {
+	ev := Event{Time: t, Seq: q.seq, Payload: payload}
+	q.seq++
+	q.h = append(q.h, ev)
+	q.up(len(q.h) - 1)
+}
+
+// Peek returns the next event without removing it; ok is false when
+// the queue is empty.
+func (q *Queue) Peek() (ev Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the next event in (time, push-order) order;
+// ok is false when the queue is empty.
+func (q *Queue) Pop() (ev Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	ev = q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return ev, true
+}
+
+// Reset drops all pending events and restarts the push sequence,
+// keeping the backing array for allocation-free reuse.
+func (q *Queue) Reset() {
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		next := l
+		if r < n && q.h[r].before(q.h[l]) {
+			next = r
+		}
+		if !q.h[next].before(q.h[i]) {
+			return
+		}
+		q.h[i], q.h[next] = q.h[next], q.h[i]
+		i = next
+	}
+}

@@ -1,0 +1,158 @@
+package vtime
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"autofl/internal/rng"
+)
+
+// TestPopOrder pins the ordering contract: events pop by time, and
+// equal-time events pop in push order.
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	q.Push(3.0, 0)
+	q.Push(1.0, 1)
+	q.Push(2.0, 2)
+	q.Push(1.0, 3) // ties with payload 1; pushed later, pops later
+	q.Push(2.0, 4)
+
+	want := []int64{1, 3, 2, 4, 0}
+	for i, w := range want {
+		ev, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty", i)
+		}
+		if ev.Payload != w {
+			t.Fatalf("pop %d: payload = %d, want %d", i, ev.Payload, w)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty queue reported ok")
+	}
+}
+
+// TestPopMatchesStableSort cross-checks the heap against a stable sort
+// of random events: the pop sequence must equal sorting by (time, push
+// order).
+func TestPopMatchesStableSort(t *testing.T) {
+	s := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		var q Queue
+		n := 1 + s.IntN(200)
+		events := make([]Event, n)
+		for i := 0; i < n; i++ {
+			// Coarse times force plenty of exact ties.
+			tm := float64(s.IntN(10))
+			q.Push(tm, int64(i))
+			events[i] = Event{Time: tm, Seq: uint64(i), Payload: int64(i)}
+		}
+		sort.SliceStable(events, func(a, b int) bool {
+			return events[a].Time < events[b].Time
+		})
+		for i, want := range events {
+			ev, ok := q.Pop()
+			if !ok {
+				t.Fatalf("trial %d pop %d: queue empty", trial, i)
+			}
+			if ev.Payload != want.Payload || ev.Time != want.Time {
+				t.Fatalf("trial %d pop %d: got (%.0f, %d), want (%.0f, %d)",
+					trial, i, ev.Time, ev.Payload, want.Time, want.Payload)
+			}
+		}
+	}
+}
+
+// TestInterleavedPushPop exercises pushes between pops: the queue must
+// stay a min-heap and never return a time earlier than one already
+// popped when all later pushes are in the future.
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue
+	s := rng.New(7)
+	now := 0.0
+	for i := 0; i < 1000; i++ {
+		q.Push(now+s.Float64()*10, int64(i))
+		if i%3 == 2 {
+			ev, ok := q.Pop()
+			if !ok {
+				t.Fatal("unexpected empty queue")
+			}
+			if ev.Time < now {
+				t.Fatalf("time went backwards: %.3f after %.3f", ev.Time, now)
+			}
+			now = ev.Time
+		}
+	}
+	prev := now
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if ev.Time < prev {
+			t.Fatalf("drain out of order: %.3f after %.3f", ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+}
+
+// TestPeek pins Peek as a non-destructive Pop preview.
+func TestPeek(t *testing.T) {
+	var q Queue
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue reported ok")
+	}
+	q.Push(2, 20)
+	q.Push(1, 10)
+	pk, _ := q.Peek()
+	ev, _ := q.Pop()
+	if pk != ev {
+		t.Fatalf("peek %+v != pop %+v", pk, ev)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len after one pop = %d, want 1", q.Len())
+	}
+}
+
+// TestResetReuse pins that Reset restarts the tie-break sequence (so a
+// reused queue orders a new round exactly like a fresh one) and keeps
+// capacity.
+func TestResetReuse(t *testing.T) {
+	var q Queue
+	for i := 0; i < 64; i++ {
+		q.Push(1, int64(i))
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("len after reset = %d", q.Len())
+	}
+	q.Push(5, 100)
+	q.Push(5, 200)
+	ev, _ := q.Pop()
+	if ev.Seq != 0 || ev.Payload != 100 {
+		t.Fatalf("first event after reset = %+v, want seq 0 payload 100", ev)
+	}
+}
+
+// TestSteadyStateAllocs pins the allocation contract: a warmed queue
+// pushes and pops without allocating.
+func TestSteadyStateAllocs(t *testing.T) {
+	var q Queue
+	for i := 0; i < 128; i++ {
+		q.Push(float64(i), int64(i))
+	}
+	q.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			q.Push(math.Sqrt(float64(i)), int64(i))
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+		q.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs = %.1f, want 0", allocs)
+	}
+}

@@ -19,6 +19,10 @@ type Outcome struct {
 	GlobalPPW       float64 `json:"global_ppw"`
 	LocalPPW        float64 `json:"local_ppw"`
 	FinalAccuracy   float64 `json:"final_accuracy"`
+	// MeanStaleness is the run-level mean update staleness; always 0
+	// (and omitted) under synchronous aggregation, so legacy outcomes
+	// keep their exact JSON bytes.
+	MeanStaleness float64 `json:"mean_staleness,omitempty"`
 	// Trace is the optional per-round payload a tracing runner
 	// attaches for the persistent cache's horizon-prefix serving
 	// (trace.go). It rides the runner chain only: the cache strips it

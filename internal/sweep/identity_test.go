@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteIdentityLegacyBytesPinned pins the exact identity encoding
+// of cells that predate the extension axes. These bytes feed every
+// cell seed and cache digest: changing them would silently re-seed
+// every historical sweep and orphan every cache entry, so this test
+// must never need updating for cells without extension axes.
+func TestWriteIdentityLegacyBytesPinned(t *testing.T) {
+	var b strings.Builder
+	Cell{
+		Workload: "CNN-MNIST", Setting: "S3", Data: "iid",
+		Env: "field", Policy: "AutoFL", Replicate: 2,
+	}.WriteIdentity(&b)
+	want := "9:CNN-MNIST|2:S3|3:iid|5:field|6:AutoFL|#2"
+	if b.String() != want {
+		t.Errorf("legacy identity = %q, want %q", b.String(), want)
+	}
+
+	// Extension axes at their defaults contribute no bytes at all.
+	var ext strings.Builder
+	Cell{
+		Workload: "CNN-MNIST", Setting: "S3", Data: "iid",
+		Env: "field", Policy: "AutoFL", Replicate: 2,
+		Mode: "", Alpha: "", Devices: "", Sample: "",
+	}.WriteIdentity(&ext)
+	if ext.String() != want {
+		t.Errorf("default extension axes changed the identity: %q", ext.String())
+	}
+}
+
+// TestWriteIdentityExtensionBytes pins the tagged append-only encoding
+// of the extension axes.
+func TestWriteIdentityExtensionBytes(t *testing.T) {
+	var b strings.Builder
+	Cell{
+		Workload: "w", Setting: "s", Data: "d", Env: "e", Policy: "p",
+		Replicate: 0, Mode: "async", Alpha: "0.5",
+		Devices: "100000", Sample: "512",
+	}.WriteIdentity(&b)
+	want := "1:w|1:s|1:d|1:e|1:p|#0|mode=5:async|alpha=3:0.5|devices=6:100000|sample=3:512"
+	if b.String() != want {
+		t.Errorf("extended identity = %q, want %q", b.String(), want)
+	}
+}
+
+// TestCellSeedInjectiveAcrossExtensionAxes: extension values must not
+// collide with each other, with their absence, or across tag
+// boundaries.
+func TestCellSeedInjectiveAcrossExtensionAxes(t *testing.T) {
+	g := Grid{Seed: 7}
+	cells := []Cell{
+		{Policy: "p"},
+		{Policy: "p", Mode: "async"},
+		{Policy: "p", Mode: "async", Alpha: "0.5"},
+		{Policy: "p", Alpha: "0.5"},
+		{Policy: "p", Mode: "semi-async"},
+		{Policy: "p", Devices: "1000"},
+		{Policy: "p", Devices: "1000", Sample: "64"},
+		{Policy: "p", Sample: "64"},
+		// A crafted axis value that embeds the tag syntax must still be
+		// distinct from the real tagged field (length prefixes see to it).
+		{Policy: "p|mode=5:async"},
+	}
+	seen := map[uint64]string{}
+	for _, c := range cells {
+		s := g.CellSeed(c)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %q and %q", prev, c.Key())
+		}
+		seen[s] = c.Key()
+	}
+}
+
+// TestGridExtensionExpansion: the new axes multiply into Size and
+// expand innermost (before replicates), with empty axes contributing
+// the single default value.
+func TestGridExtensionExpansion(t *testing.T) {
+	g := testGrid()
+	g.Modes = []string{"sync", "async"}
+	g.Alphas = []string{"0.5"}
+	g.Devices = []string{"1000", "2000"}
+	want := 1 * 1 * 2 * 2 * 2 * 2 * 1 * 2 * 1 * 3
+	if g.Size() != want {
+		t.Fatalf("Size = %d, want %d", g.Size(), want)
+	}
+	cells := g.Cells()
+	if len(cells) != want {
+		t.Fatalf("len(Cells) = %d, want %d", len(cells), want)
+	}
+	// Replicates innermost, devices next, then modes outside alphas.
+	if cells[0].Devices != "1000" || cells[3].Devices != "2000" {
+		t.Errorf("devices not third-innermost: %+v %+v", cells[0], cells[3])
+	}
+	if cells[0].Mode != "sync" || cells[6].Mode != "async" {
+		t.Errorf("modes not outermost of the extension axes: %+v %+v", cells[0], cells[6])
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("duplicate cell key %q", k)
+		}
+		seen[k] = true
+	}
+
+	// A grid without extension axes expands to extension-free cells.
+	for _, c := range testGrid().Cells() {
+		if c.Mode != "" || c.Alpha != "" || c.Devices != "" || c.Sample != "" {
+			t.Fatalf("legacy grid produced an extended cell: %+v", c)
+		}
+	}
+}
+
+// TestCellOrderingExtensionAxes: the extension axes order after policy
+// and before the replicate index.
+func TestCellOrderingExtensionAxes(t *testing.T) {
+	a := Cell{Policy: "p", Mode: "async", Replicate: 5}
+	b := Cell{Policy: "p", Mode: "semi-async", Replicate: 0}
+	if !a.less(b) || b.less(a) {
+		t.Error("mode must order before replicate")
+	}
+	c := Cell{Policy: "p", Mode: "async", Alpha: "0.5"}
+	d := Cell{Policy: "p", Mode: "async", Alpha: "1"}
+	if !c.less(d) || d.less(c) {
+		t.Error("alpha must order within a mode")
+	}
+}
+
+// TestSameGroupSeparatesExtensionAxes: replicate groups never mix
+// different aggregation or population configurations.
+func TestSameGroupSeparatesExtensionAxes(t *testing.T) {
+	base := Cell{Workload: "w", Policy: "p", Replicate: 0}
+	rep := base
+	rep.Replicate = 1
+	if !sameGroup(base, rep) {
+		t.Error("replicates of one cell must share a group")
+	}
+	for _, mut := range []func(*Cell){
+		func(c *Cell) { c.Mode = "async" },
+		func(c *Cell) { c.Alpha = "0.5" },
+		func(c *Cell) { c.Devices = "1000" },
+		func(c *Cell) { c.Sample = "64" },
+	} {
+		other := base
+		mut(&other)
+		if sameGroup(base, other) {
+			t.Errorf("extension axis did not separate groups: %+v vs %+v", base, other)
+		}
+	}
+}

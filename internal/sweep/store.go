@@ -97,6 +97,13 @@ type Summary struct {
 	Data     string `json:"data"`
 	Env      string `json:"env"`
 	Policy   string `json:"policy"`
+	// The extension axes mirror Cell's: empty for groups at the
+	// default (synchronous, explicit-fleet) configuration, so legacy
+	// grids summarize to byte-identical JSON.
+	Mode    string `json:"mode,omitempty"`
+	Alpha   string `json:"alpha,omitempty"`
+	Devices string `json:"devices,omitempty"`
+	Sample  string `json:"sample,omitempty"`
 	// Replicates counts the group's successful runs; Errors the
 	// failed (or panicked) ones.
 	Replicates int `json:"replicates"`
@@ -110,6 +117,11 @@ type Summary struct {
 	GlobalPPW       Stats   `json:"global_ppw"`
 	LocalPPW        Stats   `json:"local_ppw"`
 	FinalAccuracy   Stats   `json:"final_accuracy"`
+	// MeanStaleness aggregates the runs' mean update staleness. It is
+	// emitted only for groups on an explicit aggregation mode (a
+	// pointer because struct omitempty never fires), keeping legacy
+	// output byte-identical.
+	MeanStaleness *Stats `json:"mean_staleness,omitempty"`
 }
 
 // Summaries aggregates the store's results by replicate group, sorted
@@ -134,8 +146,9 @@ func summarize(group []Result) Summary {
 	sum := Summary{
 		Workload: c.Workload, Setting: c.Setting, Data: c.Data,
 		Env: c.Env, Policy: c.Policy,
+		Mode: c.Mode, Alpha: c.Alpha, Devices: c.Devices, Sample: c.Sample,
 	}
-	var rounds, timeTo, energy, gppw, lppw, acc []float64
+	var rounds, timeTo, energy, gppw, lppw, acc, stale []float64
 	converged := 0
 	for _, r := range group {
 		if r.Err != "" {
@@ -152,6 +165,7 @@ func summarize(group []Result) Summary {
 		gppw = append(gppw, r.Outcome.GlobalPPW)
 		lppw = append(lppw, r.Outcome.LocalPPW)
 		acc = append(acc, r.Outcome.FinalAccuracy)
+		stale = append(stale, r.Outcome.MeanStaleness)
 	}
 	if sum.Replicates > 0 {
 		sum.ConvergedFrac = float64(converged) / float64(sum.Replicates)
@@ -162,6 +176,10 @@ func summarize(group []Result) Summary {
 	sum.GlobalPPW = statsOf(gppw)
 	sum.LocalPPW = statsOf(lppw)
 	sum.FinalAccuracy = statsOf(acc)
+	if c.Mode != "" {
+		st := statsOf(stale)
+		sum.MeanStaleness = &st
+	}
 	return sum
 }
 
@@ -181,7 +199,9 @@ func (s *ResultStore) WriteJSON(w io.Writer) error {
 	return enc.Encode(export{Results: s.Results(), Summaries: s.Summaries()})
 }
 
-// csvHeader names the WriteCSV columns.
+// csvHeader names the base WriteCSV columns. Summaries on an
+// extension axis add csvHeaderExt; grids that never touch those axes
+// emit the legacy header and rows byte-identically.
 var csvHeader = []string{
 	"workload", "setting", "data", "env", "policy",
 	"replicates", "errors", "converged_frac",
@@ -193,14 +213,38 @@ var csvHeader = []string{
 	"final_accuracy_mean", "final_accuracy_stddev",
 }
 
+// csvHeaderExt names the extension columns appended when any summary
+// group sits on a non-default aggregation or population axis.
+var csvHeaderExt = []string{
+	"mode", "alpha", "devices", "sample",
+	"mean_staleness_mean", "mean_staleness_stddev",
+}
+
+// extended reports whether the summary uses any extension axis.
+func (s Summary) extended() bool {
+	return s.Mode != "" || s.Alpha != "" || s.Devices != "" || s.Sample != ""
+}
+
 // WriteCSV writes one row per replicate-group summary.
 func (s *ResultStore) WriteCSV(w io.Writer) error {
+	sums := s.Summaries()
+	ext := false
+	for _, sum := range sums {
+		if sum.extended() {
+			ext = true
+			break
+		}
+	}
+	header := csvHeader
+	if ext {
+		header = append(append([]string(nil), csvHeader...), csvHeaderExt...)
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	for _, sum := range s.Summaries() {
+	for _, sum := range sums {
 		row := []string{
 			sum.Workload, sum.Setting, sum.Data, sum.Env, sum.Policy,
 			strconv.Itoa(sum.Replicates), strconv.Itoa(sum.Errors), f(sum.ConvergedFrac),
@@ -210,6 +254,13 @@ func (s *ResultStore) WriteCSV(w io.Writer) error {
 			f(sum.GlobalPPW.Mean), f(sum.GlobalPPW.Stddev),
 			f(sum.LocalPPW.Mean), f(sum.LocalPPW.Stddev),
 			f(sum.FinalAccuracy.Mean), f(sum.FinalAccuracy.Stddev),
+		}
+		if ext {
+			stMean, stStd := "", ""
+			if sum.MeanStaleness != nil {
+				stMean, stStd = f(sum.MeanStaleness.Mean), f(sum.MeanStaleness.Stddev)
+			}
+			row = append(row, sum.Mode, sum.Alpha, sum.Devices, sum.Sample, stMean, stStd)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

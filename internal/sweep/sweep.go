@@ -35,40 +35,83 @@ import (
 // autofl package (empty string selects that axis's default scenario
 // value).
 type Cell struct {
-	Workload  string `json:"workload"`
-	Setting   string `json:"setting"`
-	Data      string `json:"data"`
-	Env       string `json:"env"`
-	Policy    string `json:"policy"`
+	Workload string `json:"workload"`
+	Setting  string `json:"setting"`
+	Data     string `json:"data"`
+	Env      string `json:"env"`
+	Policy   string `json:"policy"`
+	// Mode and Alpha select the aggregation regime ("sync", "async",
+	// "semi-async") and the staleness-weighting exponent. Devices and
+	// Sample scale the scenario to a synthetic population fleet of that
+	// many devices with per-round cohorts of Sample. All four are
+	// extension axes: empty means the scenario default (synchronous
+	// aggregation, explicit fleet), and an empty value contributes no
+	// bytes to the cell identity, so pre-extension grids keep their
+	// seeds and cache digests.
+	Mode      string `json:"mode,omitempty"`
+	Alpha     string `json:"alpha,omitempty"`
+	Devices   string `json:"devices,omitempty"`
+	Sample    string `json:"sample,omitempty"`
 	Replicate int    `json:"replicate"`
+}
+
+// extensions lists the tagged extension axes in their fixed encoding
+// order. The tag names are distinct and fixed forever: identity
+// encoding relies on them.
+func (c Cell) extensions() [4]struct{ Tag, Val string } {
+	return [4]struct{ Tag, Val string }{
+		{"mode", c.Mode}, {"alpha", c.Alpha},
+		{"devices", c.Devices}, {"sample", c.Sample},
+	}
 }
 
 // Key renders the cell for display and logs. Seed derivation uses the
 // injective field encoding of CellSeed instead, so axis values that
 // happen to contain the separators cannot collide.
 func (c Cell) Key() string {
-	return fmt.Sprintf("%s/%s/%s/%s/%s#%d",
+	k := fmt.Sprintf("%s/%s/%s/%s/%s#%d",
 		c.Workload, c.Setting, c.Data, c.Env, c.Policy, c.Replicate)
+	for _, e := range c.extensions() {
+		if e.Val != "" {
+			k += "/" + e.Tag + "=" + e.Val
+		}
+	}
+	return k
 }
 
 // WriteIdentity writes the cell's injective identity encoding: each
-// axis value length-prefixed, then the replicate index. No two
+// axis value length-prefixed, then the replicate index, then a tagged
+// length-prefixed segment per non-empty extension axis. No two
 // distinct cells produce the same bytes whatever characters their
 // axis values contain. It is the single source of truth for every
 // cell-identity hash — CellSeed here and the cache's CellDigest — so
 // a new axis field only ever needs encoding in one place.
+//
+// The encoding is append-only: extension axes at their default (empty)
+// value contribute no bytes, so every cell expressible before an axis
+// existed keeps its exact identity — and therefore its seed, its cache
+// digest, and its results — after the axis is added. Injectivity
+// holds because the tags are distinct, ordered, and never a prefix of
+// one another, and each value is length-prefixed.
 func (c Cell) WriteIdentity(w io.Writer) {
 	for _, f := range []string{c.Workload, c.Setting, c.Data, c.Env, c.Policy} {
 		fmt.Fprintf(w, "%d:%s|", len(f), f)
 	}
 	fmt.Fprintf(w, "#%d", c.Replicate)
+	for _, e := range c.extensions() {
+		if e.Val != "" {
+			fmt.Fprintf(w, "|%s=%d:%s", e.Tag, len(e.Val), e.Val)
+		}
+	}
 }
 
 // sameGroup reports whether two cells are replicates of the same
 // scenario. Summaries aggregate over it.
 func sameGroup(a, b Cell) bool {
 	return a.Workload == b.Workload && a.Setting == b.Setting &&
-		a.Data == b.Data && a.Env == b.Env && a.Policy == b.Policy
+		a.Data == b.Data && a.Env == b.Env && a.Policy == b.Policy &&
+		a.Mode == b.Mode && a.Alpha == b.Alpha &&
+		a.Devices == b.Devices && a.Sample == b.Sample
 }
 
 // less orders cells by axis values with the replicate compared
@@ -89,6 +132,18 @@ func (c Cell) less(o Cell) bool {
 	if c.Policy != o.Policy {
 		return c.Policy < o.Policy
 	}
+	if c.Mode != o.Mode {
+		return c.Mode < o.Mode
+	}
+	if c.Alpha != o.Alpha {
+		return c.Alpha < o.Alpha
+	}
+	if c.Devices != o.Devices {
+		return c.Devices < o.Devices
+	}
+	if c.Sample != o.Sample {
+		return c.Sample < o.Sample
+	}
 	return c.Replicate < o.Replicate
 }
 
@@ -96,11 +151,20 @@ func (c Cell) less(o Cell) bool {
 // value sets, replicated Replicates times. An empty axis contributes a
 // single empty value, which Runners interpret as that axis's default.
 type Grid struct {
-	Workloads  []string `json:"workloads,omitempty"`
-	Settings   []string `json:"settings,omitempty"`
-	Data       []string `json:"data,omitempty"`
-	Envs       []string `json:"envs,omitempty"`
-	Policies   []string `json:"policies,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Settings  []string `json:"settings,omitempty"`
+	Data      []string `json:"data,omitempty"`
+	Envs      []string `json:"envs,omitempty"`
+	Policies  []string `json:"policies,omitempty"`
+	// Modes and Alphas span aggregation regimes and staleness
+	// exponents; Devices and Samples span population sizes and
+	// per-round cohort sizes. Empty axes contribute the single default
+	// value (synchronous aggregation, the scenario's explicit fleet)
+	// and leave cell identities unchanged.
+	Modes      []string `json:"modes,omitempty"`
+	Alphas     []string `json:"alphas,omitempty"`
+	Devices    []string `json:"devices,omitempty"`
+	Samples    []string `json:"samples,omitempty"`
 	Replicates int      `json:"replicates,omitempty"`
 	// Seed is the grid master seed every cell seed derives from.
 	Seed uint64 `json:"seed"`
@@ -128,12 +192,17 @@ func (g Grid) Size() int {
 		len(axisOrDefault(g.Settings)) *
 		len(axisOrDefault(g.Data)) *
 		len(axisOrDefault(g.Envs)) *
-		len(axisOrDefault(g.Policies))
+		len(axisOrDefault(g.Policies)) *
+		len(axisOrDefault(g.Modes)) *
+		len(axisOrDefault(g.Alphas)) *
+		len(axisOrDefault(g.Devices)) *
+		len(axisOrDefault(g.Samples))
 	return n * g.replicates()
 }
 
 // Cells expands the grid in deterministic order: workloads, settings,
-// data, environments, policies, replicates — the slowest axis first.
+// data, environments, policies, modes, alphas, devices, samples,
+// replicates — the slowest axis first.
 func (g Grid) Cells() []Cell {
 	out := make([]Cell, 0, g.Size())
 	for _, w := range axisOrDefault(g.Workloads) {
@@ -141,11 +210,22 @@ func (g Grid) Cells() []Cell {
 			for _, d := range axisOrDefault(g.Data) {
 				for _, e := range axisOrDefault(g.Envs) {
 					for _, p := range axisOrDefault(g.Policies) {
-						for r := 0; r < g.replicates(); r++ {
-							out = append(out, Cell{
-								Workload: w, Setting: s, Data: d,
-								Env: e, Policy: p, Replicate: r,
-							})
+						for _, m := range axisOrDefault(g.Modes) {
+							for _, a := range axisOrDefault(g.Alphas) {
+								for _, dv := range axisOrDefault(g.Devices) {
+									for _, sm := range axisOrDefault(g.Samples) {
+										for r := 0; r < g.replicates(); r++ {
+											out = append(out, Cell{
+												Workload: w, Setting: s, Data: d,
+												Env: e, Policy: p,
+												Mode: m, Alpha: a,
+												Devices: dv, Sample: sm,
+												Replicate: r,
+											})
+										}
+									}
+								}
+							}
 						}
 					}
 				}

@@ -26,6 +26,11 @@ type RunTrace struct {
 	EnergyJ            []float64 `json:"energy_j"`
 	ParticipantEnergyJ []float64 `json:"participant_energy_j"`
 	Accuracy           []float64 `json:"accuracy"`
+	// Staleness is the per-round mean update staleness. It is recorded
+	// only for runs where some round saw a stale update (asynchronous
+	// aggregation); absent otherwise, keeping synchronous trace
+	// payloads byte-identical to their pre-async form.
+	Staleness []float64 `json:"staleness,omitempty"`
 }
 
 // NewRunTrace converts a finished run's per-round record (Trace plus
@@ -46,6 +51,15 @@ func NewRunTrace(res *sim.Result) *RunTrace {
 		t.EnergyJ[i] = r.EnergyJ
 		t.ParticipantEnergyJ[i] = r.ParticipantEnergyJ
 	}
+	for _, r := range res.Trace {
+		if r.MeanStale != 0 {
+			t.Staleness = make([]float64, len(res.Trace))
+			for i, rr := range res.Trace {
+				t.Staleness[i] = rr.MeanStale
+			}
+			break
+		}
+	}
 	return t
 }
 
@@ -56,7 +70,8 @@ func (t *RunTrace) Valid() bool {
 		return false
 	}
 	n := len(t.Sec)
-	return len(t.EnergyJ) == n && len(t.ParticipantEnergyJ) == n && len(t.Accuracy) == n
+	return len(t.EnergyJ) == n && len(t.ParticipantEnergyJ) == n && len(t.Accuracy) == n &&
+		(len(t.Staleness) == 0 || len(t.Staleness) == n)
 }
 
 // Rounds is the number of recorded rounds.
@@ -82,12 +97,16 @@ func (t *RunTrace) OutcomeAt(rounds int) (Outcome, bool) {
 		AccuracyFloor:  t.AccuracyFloor,
 	}
 	acc := t.AccuracyFloor
+	staleSum := 0.0
 	for i := 0; i < rounds && i < len(t.Sec); i++ {
 		acc = t.Accuracy[i]
 		res.Rounds++
 		res.TimeToTargetSec += t.Sec[i]
 		res.EnergyToTargetJ += t.EnergyJ[i]
 		res.ParticipantEnergyToTargetJ += t.ParticipantEnergyJ[i]
+		if len(t.Staleness) > 0 {
+			staleSum += t.Staleness[i]
+		}
 		if !res.Converged && acc >= t.TargetAccuracy {
 			res.Converged = true
 			res.ConvergedRound = i + 1
@@ -95,6 +114,11 @@ func (t *RunTrace) OutcomeAt(rounds int) (Outcome, bool) {
 		}
 	}
 	res.FinalAccuracy = acc
+	if res.Rounds > 0 {
+		// Same order of operations as the engine's finalize step, so
+		// the replayed mean is bit-identical to a fresh run's.
+		res.MeanStaleness = staleSum / float64(res.Rounds)
+	}
 	if !res.Converged && res.Rounds < rounds {
 		// The trace ran out before the requested horizon without
 		// converging: it cannot witness rounds it never executed.
@@ -108,5 +132,6 @@ func (t *RunTrace) OutcomeAt(rounds int) (Outcome, bool) {
 		GlobalPPW:       res.GlobalPPW(),
 		LocalPPW:        res.LocalPPW(),
 		FinalAccuracy:   res.FinalAccuracy,
+		MeanStaleness:   res.MeanStaleness,
 	}, true
 }

@@ -109,6 +109,73 @@ func TestTraceValidity(t *testing.T) {
 	if ragged.Valid() {
 		t.Error("ragged arrays reported valid")
 	}
+	// Staleness is optional (absent for synchronous runs) but must be
+	// full-length when present.
+	withStale := syntheticTrace(10, 0)
+	withStale.Staleness = make([]float64, 10)
+	if !withStale.Valid() {
+		t.Error("full-length staleness reported invalid")
+	}
+	raggedStale := syntheticTrace(10, 0)
+	raggedStale.Staleness = make([]float64, 4)
+	if raggedStale.Valid() {
+		t.Error("ragged staleness reported valid")
+	}
+}
+
+// TestTraceStalenessReplay pins the async extension of the prefix
+// contract: a trace carrying per-round staleness replays the exact
+// run-level mean at any horizon, and synchronous traces (no staleness
+// array) replay a zero mean.
+func TestTraceStalenessReplay(t *testing.T) {
+	tr := syntheticTrace(50, 0)
+	tr.Staleness = make([]float64, 50)
+	for i := range tr.Staleness {
+		tr.Staleness[i] = float64(i % 7)
+	}
+	for _, h := range []int{1, 20, 50} {
+		out, ok := tr.OutcomeAt(h)
+		if !ok {
+			t.Fatalf("OutcomeAt(%d) failed", h)
+		}
+		sum := 0.0
+		for i := 0; i < h; i++ {
+			sum += tr.Staleness[i]
+		}
+		if want := sum / float64(h); out.MeanStaleness != want {
+			t.Errorf("OutcomeAt(%d).MeanStaleness = %g, want %g", h, out.MeanStaleness, want)
+		}
+	}
+	sync := syntheticTrace(50, 0)
+	if out, ok := sync.OutcomeAt(20); !ok || out.MeanStaleness != 0 {
+		t.Errorf("staleness-free replay mean = %g, want 0", out.MeanStaleness)
+	}
+}
+
+// TestNewRunTraceStalenessGating: the staleness array is recorded only
+// when some round actually saw a stale update, so synchronous cache
+// payloads keep their pre-async bytes.
+func TestNewRunTraceStalenessGating(t *testing.T) {
+	syncRes := &sim.Result{
+		TargetAccuracy: 0.9, AccuracyFloor: 0.1,
+		AccuracyTrace: []float64{0.3, 0.5},
+		Trace:         []sim.RoundTrace{{Sec: 1}, {Sec: 2}},
+	}
+	if tr := NewRunTrace(syncRes); tr.Staleness != nil {
+		t.Error("synchronous trace recorded a staleness array")
+	}
+	asyncRes := &sim.Result{
+		TargetAccuracy: 0.9, AccuracyFloor: 0.1,
+		AccuracyTrace: []float64{0.3, 0.5},
+		Trace:         []sim.RoundTrace{{Sec: 1}, {Sec: 2, MeanStale: 1.5}},
+	}
+	tr := NewRunTrace(asyncRes)
+	if len(tr.Staleness) != 2 || tr.Staleness[1] != 1.5 {
+		t.Errorf("async trace staleness = %v, want [0 1.5]", tr.Staleness)
+	}
+	if !tr.Valid() {
+		t.Error("async trace reported invalid")
+	}
 }
 
 // TestNewRunTraceRoundTrips checks the sim.Result conversion

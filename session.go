@@ -1,6 +1,7 @@
 package autofl
 
 import (
+	"autofl/internal/metrics"
 	"autofl/internal/sim"
 )
 
@@ -21,6 +22,14 @@ type RoundEvent struct {
 	// Participants counts selected devices; Kept the updates that
 	// reached aggregation; Dropped the deadline-missing stragglers.
 	Participants, Kept, Dropped int
+	// VirtualSec is the virtual clock after the round: cumulative
+	// round seconds since the run began.
+	VirtualSec float64
+	// Pending counts updates still in flight after the round's
+	// aggregation, and MeanStaleness averages the staleness of the
+	// updates it applied — both 0 under synchronous aggregation.
+	Pending       int
+	MeanStaleness float64
 	// Reward is the AutoFL controller's mean per-round reward; 0 for
 	// non-learning policies.
 	Reward float64
@@ -102,6 +111,9 @@ func (s *Session) Step() (RoundEvent, bool) {
 		Participants:       info.Participants,
 		Kept:               info.Kept,
 		Dropped:            info.Dropped,
+		VirtualSec:         info.VirtualSec,
+		Pending:            info.Pending,
+		MeanStaleness:      info.MeanStaleness,
 		Converged:          info.Converged,
 	}
 	if s.rewards != nil {
@@ -157,6 +169,28 @@ func (s *Session) Done() bool { return s.closed || s.stopped || s.run.Done() }
 func (s *Session) Result() *Report {
 	res := s.run.Snapshot()
 	return reportFromResult(s.policy, &res)
+}
+
+// FleetEnergyPercentiles streams the population's per-device
+// cumulative-energy distribution — as of the rounds executed so far —
+// through O(1)-memory quantile estimators, returning one estimate per
+// requested probability (each in (0, 1)). The device snapshots are
+// O(1) each, so the whole call is one linear pass with no per-device
+// materialization even at millions of devices. ok is false for
+// scenarios without a sampled population fleet (the exhaustive paths
+// do not keep packed per-device accumulators).
+func (s *Session) FleetEnergyPercentiles(ps ...float64) ([]float64, bool) {
+	n := s.run.PopulationLen()
+	if n == 0 || len(ps) == 0 {
+		return nil, false
+	}
+	qs := metrics.NewQuantiles(ps...)
+	for i := 0; i < n; i++ {
+		if _, _, energyJ, ok := s.run.DeviceSnapshot(i); ok {
+			qs.Add(energyJ)
+		}
+	}
+	return qs.Values(), true
 }
 
 // Close ends the session: subsequent Step calls execute nothing.

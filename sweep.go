@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"autofl/internal/sim"
@@ -55,6 +56,33 @@ func sweepCell(ctx context.Context, c sweep.Cell, seed uint64, maxRounds int, tr
 		Seed:      seed,
 		MaxRounds: maxRounds,
 	}
+	if c.Mode != "" || c.Alpha != "" {
+		spec := &AggregationSpec{Mode: AggregationMode(c.Mode)}
+		if c.Alpha != "" {
+			a, err := strconv.ParseFloat(c.Alpha, 64)
+			if err != nil {
+				return sweep.Outcome{}, fmt.Errorf("autofl: cell alpha %q: %w", c.Alpha, err)
+			}
+			spec.StalenessAlpha = a
+		}
+		s.Aggregation = spec
+	}
+	if c.Sample != "" && c.Devices == "" {
+		return sweep.Outcome{}, fmt.Errorf("autofl: cell sample %q without a devices axis", c.Sample)
+	}
+	if c.Devices != "" {
+		n, err := strconv.Atoi(c.Devices)
+		if err != nil {
+			return sweep.Outcome{}, fmt.Errorf("autofl: cell devices %q: %w", c.Devices, err)
+		}
+		sample := 0
+		if c.Sample != "" {
+			if sample, err = strconv.Atoi(c.Sample); err != nil {
+				return sweep.Outcome{}, fmt.Errorf("autofl: cell sample %q: %w", c.Sample, err)
+			}
+		}
+		s.Fleet = ScaledFleet(n, sample)
+	}
 	sess, err := Open(s, Policy(c.Policy))
 	if err != nil {
 		return sweep.Outcome{}, err
@@ -73,6 +101,7 @@ func sweepCell(ctx context.Context, c sweep.Cell, seed uint64, maxRounds int, tr
 		GlobalPPW:       res.GlobalPPW(),
 		LocalPPW:        res.LocalPPW(),
 		FinalAccuracy:   res.FinalAccuracy,
+		MeanStaleness:   res.MeanStaleness,
 	}
 	if traced {
 		out.Trace = sweep.NewRunTrace(res)
