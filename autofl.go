@@ -24,6 +24,7 @@ package autofl
 import (
 	"fmt"
 
+	"autofl/internal/battery"
 	"autofl/internal/core"
 	"autofl/internal/data"
 	"autofl/internal/device"
@@ -114,15 +115,42 @@ const (
 	PolicyAutoFL       Policy = "AutoFL"
 	PolicyFedNova      Policy = "FedNova"
 	PolicyFEDL         Policy = "FEDL"
+	// Battery-aware selection baselines (see Scenario.Battery). Not part
+	// of Policies(): they exist to baseline the battery subsystem, not
+	// the paper's evaluation matrix.
+	PolicyBatteryWeighted Policy = "Battery-Weighted"
+	PolicyAllAvailable    Policy = "All-Available"
 )
 
-// Policies lists every available policy.
+// Policies lists every policy of the paper's evaluation matrix. The
+// battery-aware baselines (PolicyBatteryWeighted, PolicyAllAvailable)
+// are runnable but intentionally excluded — see Selections.
 func Policies() []Policy {
 	return []Policy{
 		PolicyRandom, PolicyPerformance, PolicyPower,
 		PolicyOParticipant, PolicyOFL, PolicyAutoFL,
 		PolicyFedNova, PolicyFEDL,
 	}
+}
+
+// Selections lists the battery-aware selection baseline names used by
+// the sweep plane's selection axis, in comparison order.
+func Selections() []string {
+	return []string{"random", "battery_weighted", "all_available"}
+}
+
+// SelectionPolicy resolves a selection baseline name (see Selections)
+// to the policy implementing it.
+func SelectionPolicy(name string) (Policy, error) {
+	switch name {
+	case "random":
+		return PolicyRandom, nil
+	case "battery_weighted":
+		return PolicyBatteryWeighted, nil
+	case "all_available":
+		return PolicyAllAvailable, nil
+	}
+	return "", fmt.Errorf("autofl: unknown selection baseline %q (want random, battery_weighted, or all_available)", name)
 }
 
 // Scenario describes one federated-learning deployment to simulate.
@@ -151,9 +179,96 @@ type Scenario struct {
 	// Aggregation selects the server's aggregation regime; nil keeps
 	// the paper's bulk-synchronous FedAvg. See AggregationSpec.
 	Aggregation *AggregationSpec
+	// Battery attaches a device battery model: charge state, idle drain
+	// and per-round training/communication draw, optional energy
+	// harvesting, and below-threshold availability gating. Nil — the
+	// default — reproduces the batteryless engine byte for byte. See
+	// BatterySpec.
+	Battery *BatterySpec
 	// AutoFL configures the AutoFL controller when it is the policy
 	// being run; nil selects the paper's hyperparameters.
 	AutoFL *AutoFLOptions
+}
+
+// BatteryProfile names an energy-harvesting profile.
+type BatteryProfile string
+
+// The harvesting profiles.
+const (
+	// BatteryNone models a pure battery: devices only drain.
+	BatteryNone BatteryProfile = "none"
+	// BatteryCharger plugs a keyed-random subset of devices into a
+	// constant charger.
+	BatteryCharger BatteryProfile = "charger"
+	// BatterySolar charges every device on a day/night sine in virtual
+	// time, with a keyed per-device phase.
+	BatterySolar BatteryProfile = "solar-diurnal"
+)
+
+// BatteryProfiles lists the harvesting profiles.
+func BatteryProfiles() []BatteryProfile {
+	return []BatteryProfile{BatteryNone, BatteryCharger, BatterySolar}
+}
+
+// BatterySpec configures the per-device battery model. The zero value
+// of every field selects a tuned default, so &BatterySpec{} is a usable
+// small-battery deployment; DefaultBattery builds profile presets.
+//
+// The model costs a few bytes per device and integrates lazily, so it
+// composes with million-device populations and sampled rounds; runs
+// stay deterministic and independent of shard/worker counts.
+type BatterySpec struct {
+	// Profile selects the harvesting profile (default none).
+	Profile BatteryProfile
+	// CapacityJ is the battery capacity (default 2000 J — a deliberately
+	// small cell so depletion dynamics are visible within a run).
+	CapacityJ float64
+	// ThresholdJ is the participation threshold: devices below it are
+	// excluded from the candidate set (default 15% of capacity).
+	ThresholdJ float64
+	// InitialFracLo and InitialFracHi bound the keyed-random initial
+	// state of charge (default [0.80, 0.95] — devices enter federated
+	// rounds charged and idle).
+	InitialFracLo, InitialFracHi float64
+	// HarvestW is the harvesting power while charging (default 2.5 W).
+	HarvestW float64
+	// ChargerFrac is the fraction of devices plugged in under the
+	// charger profile (default 0.25).
+	ChargerFrac float64
+	// DaySec is the solar profile's diurnal period (default 86400 s).
+	DaySec float64
+}
+
+// DefaultBattery returns the tuned preset for a harvesting profile.
+func DefaultBattery(p BatteryProfile) *BatterySpec {
+	return &BatterySpec{Profile: p}
+}
+
+// batterySpec maps the public spec onto the engine model.
+func (b *BatterySpec) batterySpec() (*battery.Spec, error) {
+	spec := battery.Spec{
+		CapacityJ:     b.CapacityJ,
+		ThresholdJ:    b.ThresholdJ,
+		InitialFracLo: b.InitialFracLo,
+		InitialFracHi: b.InitialFracHi,
+		HarvestW:      b.HarvestW,
+		ChargerFrac:   b.ChargerFrac,
+		DaySec:        b.DaySec,
+	}
+	if spec.CapacityJ == 0 {
+		spec.CapacityJ = 2000
+	}
+	switch b.Profile {
+	case "", BatteryNone:
+		spec.Harvest = battery.ProfileNone
+	case BatteryCharger:
+		spec.Harvest = battery.ProfileCharger
+	case BatterySolar:
+		spec.Harvest = battery.ProfileSolar
+	default:
+		return nil, fmt.Errorf("autofl: unknown battery profile %q", b.Profile)
+	}
+	return &spec, nil
 }
 
 // AggregationMode names a server aggregation regime.
@@ -234,6 +349,11 @@ type AutoFLOptions struct {
 	// SharedTables shares Q-tables within a device category (§4
 	// Scalability).
 	SharedTables bool
+	// FairnessWeight adds an energy-fairness term to the reward: each
+	// participant is credited with its state of charge, steering the
+	// controller toward rotating load across the fleet. Only meaningful
+	// when Scenario.Battery is set; 0 keeps the paper's reward.
+	FairnessWeight float64
 }
 
 // Report is the outcome of one simulated FL run.
@@ -265,6 +385,24 @@ type Report struct {
 	// RewardTrace holds AutoFL's per-round mean reward (Fig 15); nil
 	// for other policies.
 	RewardTrace []float64
+	// Battery summarizes the battery subsystem at the end of the run;
+	// nil when the scenario has no battery model.
+	Battery *BatteryReport
+}
+
+// BatteryReport is the end-of-run battery summary of a battery-enabled
+// scenario.
+type BatteryReport struct {
+	// ParticipationJain is Jain's fairness index over cumulative
+	// per-device participation counts: 1 when every device carried the
+	// same load, 1/n when one device carried everything.
+	ParticipationJain float64
+	// MeanCharge is the candidate view's mean state of charge in [0, 1]
+	// at the final round.
+	MeanCharge float64
+	// Available and Depleted count final-round candidate devices above
+	// the participation threshold and at zero charge.
+	Available, Depleted int
 }
 
 func (s Scenario) simConfig() (sim.Config, error) {
@@ -336,6 +474,16 @@ func (s Scenario) simConfig() (sim.Config, error) {
 		cfg.AggregateK = s.Aggregation.AggregateK
 		cfg.AggregateDeadlineSec = s.Aggregation.DeadlineSec
 	}
+	if s.Battery != nil {
+		// sim.NewEngine validates the numeric ranges, returning a
+		// *sim.ConfigError for degenerate capacity/threshold/harvest
+		// combinations.
+		spec, err := s.Battery.batterySpec()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Battery = spec
+	}
 	return cfg, nil
 }
 
@@ -356,6 +504,10 @@ func (s Scenario) policy(p Policy) (sim.Policy, error) {
 		return policy.NewFedNova(seed), nil
 	case PolicyFEDL:
 		return policy.NewFEDL(seed), nil
+	case PolicyBatteryWeighted:
+		return policy.NewBatteryWeighted(seed), nil
+	case PolicyAllAvailable:
+		return policy.NewAllAvailable(), nil
 	case PolicyAutoFL:
 		opts := core.DefaultOptions(seed)
 		if s.AutoFL != nil {
@@ -369,6 +521,15 @@ func (s Scenario) policy(p Policy) (sim.Policy, error) {
 				opts.Discount = s.AutoFL.Discount
 			}
 			opts.SharedTables = s.AutoFL.SharedTables
+			opts.FairnessWeight = s.AutoFL.FairnessWeight
+		}
+		if s.Battery != nil {
+			// Extend the Table 1 state space with a charge digit so the
+			// controller can condition on battery level. Battery-less
+			// scenarios keep the published state space exactly.
+			b := core.DefaultBuckets()
+			b.Battery = []float64{0.25, 0.6}
+			opts.Buckets = &b
 		}
 		return core.New(opts), nil
 	default:
@@ -379,7 +540,7 @@ func (s Scenario) policy(p Policy) (sim.Policy, error) {
 // reportFromResult converts an engine-level result into the public
 // report.
 func reportFromResult(p Policy, res *sim.Result) *Report {
-	return &Report{
+	out := &Report{
 		Policy:          p,
 		Converged:       res.Converged,
 		ConvergedRound:  res.ConvergedRound,
@@ -393,6 +554,15 @@ func reportFromResult(p Policy, res *sim.Result) *Report {
 		AccuracyTrace:   res.AccuracyTrace,
 		RewardTrace:     res.RewardTrace,
 	}
+	if res.Battery != nil {
+		out.Battery = &BatteryReport{
+			ParticipationJain: res.Battery.ParticipationJain,
+			MeanCharge:        res.Battery.MeanFrac,
+			Available:         res.Battery.Available,
+			Depleted:          res.Battery.Depleted,
+		}
+	}
+	return out
 }
 
 // Run simulates the scenario under the given selection policy. It is

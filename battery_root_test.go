@@ -1,0 +1,286 @@
+package autofl
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"autofl/internal/metrics"
+	"autofl/internal/sim"
+	"autofl/internal/sweep"
+	"autofl/internal/sweep/dist"
+)
+
+// seedFingerprints pins battery-disabled behavior to the pre-battery
+// engine: each value is "rounds|converged|accuracy|energy|time"
+// (floats at full %.17g precision) captured from the repository state
+// before the battery subsystem existed, for the CNN-MNIST/S3/noniid50
+// scenario at seed 9 over 30 rounds. The battery seed is derived by
+// keyed hashing rather than stream draws, so these must hold exactly.
+var seedFingerprints = map[string]string{
+	"ideal" + "/" + "FedAvg-Random":        "30|false|0.41145546821784679|44770.352471047394|1006.4385189536788",
+	"ideal" + "/" + "Performance":          "30|false|0.45236273339543109|44360.651888738314|623.37008250761778",
+	"ideal" + "/" + "Power":                "30|false|0.40634247138522572|44803.538426133717|1032.4042818267255",
+	"ideal" + "/" + "Oparticipant":         "30|false|0.44450363080529048|38062.815311618513|842.97750591478871",
+	"ideal" + "/" + "OFL":                  "30|false|0.44450363080529048|28672.649417646808|1358.7308360440024",
+	"ideal" + "/" + "AutoFL":               "30|false|0.43659046413559977|42703.849469281238|1391.4308073108523",
+	"ideal" + "/" + "FedNova":              "30|false|0.43903215500338894|44770.352471047394|1006.4385189536788",
+	"ideal" + "/" + "FEDL":                 "30|false|0.446048610334632|44770.352471047394|1006.4385189536788",
+	"interference" + "/" + "FedAvg-Random": "30|false|0.38293339841912571|60086.277509756022|1560.8043500559211",
+	"interference" + "/" + "Performance":   "30|false|0.45236273339543109|53657.524656568414|935.94589288323004",
+	"interference" + "/" + "Power":         "30|false|0.37445248137104004|60701.938765167062|1751.5864803365591",
+	"interference" + "/" + "Oparticipant":  "30|false|0.45023752763204838|44960.624069299549|980.34140046347295",
+	"interference" + "/" + "OFL":           "30|false|0.4383464029283286|32782.037672625265|1150.0718782776457",
+	"interference" + "/" + "AutoFL":        "30|false|0.42138547756171574|46909.813471627793|1377.3647827464083",
+	"interference" + "/" + "FedNova":       "30|false|0.4280576876615072|60086.277509756022|1560.8043500559211",
+	"interference" + "/" + "FEDL":          "30|false|0.43456747671827139|60086.277509756022|1560.8043500559211",
+	"weak-network" + "/" + "FedAvg-Random": "30|false|0.40960978303672696|62147.44250911026|1748.7850916454881",
+	"weak-network" + "/" + "Performance":   "30|false|0.44048379745040472|62186.446228695859|1431.4898901620245",
+	"weak-network" + "/" + "Power":         "30|false|0.40443473397292479|63302.135959109168|1877.114432137113",
+	"weak-network" + "/" + "Oparticipant":  "30|false|0.45265638435111322|47603.700179486776|979.16008156261262",
+	"weak-network" + "/" + "OFL":           "30|false|0.45265638435111322|37979.058428512115|1451.8266804382872",
+	"weak-network" + "/" + "AutoFL":        "30|false|0.43197443252364287|60962.42640997345|1879.4406601316421",
+	"weak-network" + "/" + "FedNova":       "30|false|0.43895336428817999|62147.44250911026|1748.7850916454881",
+	"weak-network" + "/" + "FEDL":          "30|false|0.44595582933547162|62147.44250911026|1748.7850916454881",
+	"field" + "/" + "FedAvg-Random":        "30|false|0.38331890362240617|62912.512848786631|1637.7462553679411",
+	"field" + "/" + "Performance":          "30|false|0.45132596089602622|56202.107005603051|1033.7136625721055",
+	"field" + "/" + "Power":                "30|false|0.37445248137104004|63516.161832109836|1833.456901273496",
+	"field" + "/" + "Oparticipant":         "30|false|0.44832478225485634|46129.572178293667|1083.0553525867253",
+	"field" + "/" + "OFL":                  "30|false|0.43757150004444145|33831.548851526393|1240.8067883764272",
+	"field" + "/" + "AutoFL":               "30|false|0.41323894824295232|49479.701333372213|1432.865942510846",
+	"field" + "/" + "FedNova":              "30|false|0.42850734119099421|62912.512848786631|1637.7462553679411",
+	"field" + "/" + "FEDL":                 "30|false|0.43504146505478963|62912.512848786631|1637.7462553679411",
+}
+
+// TestBatteryDisabledPinnedToSeed is the compatibility pin of the
+// battery subsystem: with Scenario.Battery nil, every environment ×
+// policy combination reproduces the pre-battery engine bit for bit.
+// Any stream draw, state-space change, or selection reordering the
+// battery wiring leaks into disabled runs breaks this table.
+func TestBatteryDisabledPinnedToSeed(t *testing.T) {
+	for _, env := range Environments() {
+		for _, pol := range Policies() {
+			s := Scenario{
+				Workload:  CNNMNIST,
+				Setting:   S3,
+				Data:      NonIID50,
+				Env:       env,
+				Seed:      9,
+				MaxRounds: 30,
+			}
+			r, err := s.Run(pol)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", env, pol, err)
+			}
+			if r.Battery != nil {
+				t.Errorf("%s/%s: battery-disabled run carries a battery report", env, pol)
+			}
+			got := fmt.Sprintf("%d|%t|%.17g|%.17g|%.17g",
+				r.Rounds, r.Converged, r.FinalAccuracy, r.EnergyToTargetJ, r.TimeToTargetSec)
+			key := string(env) + "/" + string(pol)
+			want, ok := seedFingerprints[key]
+			if !ok {
+				t.Errorf("%s: no pinned fingerprint (new policy? capture one from a battery-disabled build)", key)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: battery-disabled run drifted from the pre-battery seed\n got %s\nwant %s", key, got, want)
+			}
+		}
+	}
+}
+
+// TestSimJainMatchesMetrics pins sim's duplicated Jain closed form to
+// metrics.JainFromMoments (the duplication exists because
+// internal/metrics imports sim). Any edit to one formula without the
+// other fails here.
+func TestSimJainMatchesMetrics(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0, 0, 0},
+		{1},
+		{1, 1, 1, 1},
+		{5, 0, 0, 0},
+		{3, 1, 4, 1, 5, 9, 2, 6},
+		{1e-9, 2e-9, 3e-9},
+		{1e12, 7, 0.25},
+	}
+	for _, xs := range cases {
+		var sum, sumSq float64
+		for _, x := range xs {
+			sum += x
+			sumSq += x * x
+		}
+		a := sim.BatteryJainFromMoments(sum, sumSq, len(xs))
+		b := metrics.JainFromMoments(sum, sumSq, len(xs))
+		c := metrics.JainFairness(xs)
+		if a != b {
+			t.Errorf("moments %v: sim=%v metrics=%v", xs, a, b)
+		}
+		if math.Abs(a-c) > 1e-12 {
+			t.Errorf("xs %v: moments form %v vs direct form %v", xs, a, c)
+		}
+	}
+}
+
+// TestBatteryShardInvariance pins shard-count independence for
+// battery-enabled sampled populations: the packed engine's battery
+// settle pass runs inside the parallel observe pass, and its results
+// must not depend on how candidates are partitioned across shards.
+func TestBatteryShardInvariance(t *testing.T) {
+	run := func(shards int, profile BatteryProfile) *Report {
+		fleet := ScaledFleet(20_000, 512)
+		fleet.Shards = shards
+		s := Scenario{
+			Workload:  CNNMNIST,
+			Setting:   S3,
+			Data:      NonIID50,
+			Env:       EnvField,
+			Seed:      11,
+			MaxRounds: 25,
+			Fleet:     fleet,
+			Battery:   DefaultBattery(profile),
+		}
+		r, err := s.Run(PolicyBatteryWeighted)
+		if err != nil {
+			t.Fatalf("shards=%d profile=%s: %v", shards, profile, err)
+		}
+		return r
+	}
+	for _, profile := range BatteryProfiles() {
+		base := run(1, profile)
+		if base.Battery == nil {
+			t.Fatalf("profile %s: battery-enabled run missing battery report", profile)
+		}
+		for _, shards := range []int{2, 4, 7} {
+			if got := run(shards, profile); !reflect.DeepEqual(base, got) {
+				t.Errorf("profile %s: shards=%d report differs from shards=1", profile, shards)
+			}
+		}
+	}
+}
+
+// batteryGrid crosses a small scenario slice with the battery and
+// selection axes.
+func batteryGrid(seed uint64) sweep.Grid {
+	return sweep.Grid{
+		Workloads:  []string{string(CNNMNIST)},
+		Settings:   []string{string(S3)},
+		Data:       []string{string(IdealIID)},
+		Envs:       []string{string(EnvField)},
+		Batteries:  []string{string(BatteryNone), string(BatteryCharger)},
+		Selections: []string{"random", "battery_weighted"},
+		Replicates: 2,
+		Seed:       seed,
+	}
+}
+
+// TestBatterySweepDistributedMatchesSerial pins placement invariance
+// for the battery axes: a battery × selection grid farmed to loopback
+// worker processes emits byte-identical JSON to an in-process serial
+// sweep, and the CSV carries the battery column group.
+func TestBatterySweepDistributedMatchesSerial(t *testing.T) {
+	g := batteryGrid(101)
+	const rounds = 20
+	ctx := context.Background()
+
+	serial, err := RunSweep(ctx, g, rounds, sweep.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newWorker := func() *dist.Worker {
+		w, werr := dist.NewWorker("127.0.0.1:0", 2, SweepRunners)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		return w
+	}
+	w1, w2 := newWorker(), newWorker()
+
+	distStore, err := RunSweepWith(ctx, g, SweepOptions{
+		MaxRounds: rounds,
+		Workers:   []string{w1.Addr(), w2.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range distStore.Results() {
+		if r.Err != "" {
+			t.Errorf("cell %s errored: %s", r.Cell.Key(), r.Err)
+		}
+	}
+
+	var sj, dj bytes.Buffer
+	if err := serial.WriteJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if err := distStore.WriteJSON(&dj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj.Bytes(), dj.Bytes()) {
+		t.Error("distributed battery sweep JSON differs from serial")
+	}
+
+	var csv bytes.Buffer
+	if err := serial.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	for _, col := range []string{"battery", "selection", "participation_jain_mean", "battery_mean_frac_mean"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("battery CSV header missing %q: %s", col, header)
+		}
+	}
+}
+
+// TestBatteryWeightedRaisesJain is the subsystem's headline smoke: on
+// an energy-constrained pure-battery deployment, charge-weighted
+// selection shifts early load onto charge-rich devices, keeps the
+// charge-poor alive and participating deeper into the run, and so
+// spreads cumulative participation measurably more fairly than uniform
+// random selection. The effect is a mid-horizon one — it builds while
+// devices are depleting and washes out once the whole fleet has
+// exhausted its energy — so the smoke runs 90 rounds against the
+// small-cell preset, where the margin is ~0.03 across seeds.
+func TestBatteryWeightedRaisesJain(t *testing.T) {
+	g := sweep.Grid{
+		Workloads:  []string{string(CNNMNIST)},
+		Settings:   []string{string(S3)},
+		Data:       []string{string(IdealIID)},
+		Envs:       []string{string(EnvField)},
+		Batteries:  []string{string(BatteryNone)},
+		Selections: []string{"random", "battery_weighted"},
+		Replicates: 3,
+		Seed:       7,
+	}
+	store, err := RunSweep(context.Background(), g, 90, sweep.Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jain := map[string]float64{}
+	for _, s := range store.Summaries() {
+		if s.Errors > 0 {
+			t.Fatalf("selection %s: %d errored replicates", s.Selection, s.Errors)
+		}
+		if s.ParticipationJain == nil {
+			t.Fatalf("selection %s: no participation_jain summary", s.Selection)
+		}
+		jain[s.Selection] = s.ParticipationJain.Mean
+	}
+	r, okR := jain["random"]
+	b, okB := jain["battery_weighted"]
+	if !okR || !okB {
+		t.Fatalf("missing selection summaries: %v", jain)
+	}
+	// "Measurably": a full point of Jain margin, not float noise.
+	if b < r+0.01 {
+		t.Errorf("battery_weighted Jain %.4f does not measurably beat random %.4f", b, r)
+	}
+}

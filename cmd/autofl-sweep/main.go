@@ -27,6 +27,14 @@
 //	autofl-sweep -async-modes async,semi-async -alphas 0.3,0.5,1 \
 //	    -devices 100000 -samples 512 -rounds 100
 //
+// The battery subsystem adds two more axes: -battery-profiles attaches
+// the per-device battery model under the named harvesting presets, and
+// -selection sweeps battery-aware selection baselines in place of the
+// policy axis (the two flags are mutually exclusive with -policies):
+//
+//	autofl-sweep -workloads CNN-MNIST -battery-profiles none,charger \
+//	    -selection random,battery_weighted -rounds 100 -format csv
+//
 // With -cache-dir, every completed cell is persisted with its
 // per-round trace, so an interrupted run resumes where it stopped, an
 // extended grid executes only its new cells, and a request at a
@@ -112,6 +120,8 @@ func main() {
 		alphas     = flag.String("alphas", "", "comma-separated staleness exponents as a grid axis (requires -async-modes; crossing with 'sync' yields loud per-cell errors — sweep sync separately)")
 		devicesAx  = flag.String("devices", "", "comma-separated population sizes as a grid axis (empty = explicit testbed fleet)")
 		samplesAx  = flag.String("samples", "", "comma-separated per-round cohort sizes as a grid axis (requires -devices)")
+		batteries  = flag.String("battery-profiles", "", "comma-separated battery harvesting presets (none, charger, solar-diurnal) as a grid axis (empty = no battery model)")
+		selection  = flag.String("selection", "", "comma-separated battery-aware selection baselines (random, battery_weighted, all_available) as a grid axis replacing -policies (the two are mutually exclusive)")
 		replicates = flag.Int("replicates", 1, "seed replicates per cell")
 		seed       = flag.Uint64("seed", 42, "grid master seed")
 		parallel   = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
@@ -201,6 +211,24 @@ func main() {
 			fatalf("-samples requires -devices (a cohort needs a population to sample from)")
 		}
 		grid.Samples = pickIntAxis("samples", *samplesAx)
+	}
+	if *batteries != "" {
+		var known []string
+		for _, p := range autofl.BatteryProfiles() {
+			known = append(known, string(p))
+		}
+		grid.Batteries = pickAxis("battery-profiles", *batteries, known)
+	}
+	if *selection != "" {
+		policiesSet := false
+		flag.Visit(func(f *flag.Flag) { policiesSet = policiesSet || f.Name == "policies" })
+		if policiesSet {
+			fatalf("-selection and -policies are mutually exclusive (the selection axis replaces the policy axis)")
+		}
+		grid.Selections = pickAxis("selection", *selection, autofl.Selections())
+		// Selection cells carry an empty policy axis; the runner maps
+		// each selection name to its baseline policy.
+		grid.Policies = nil
 	}
 
 	// Open the output before running so a bad path fails fast, not
@@ -547,6 +575,10 @@ func listAxes() {
 	for _, m := range autofl.AggregationModes() {
 		modes = append(modes, string(m))
 	}
+	var profiles []string
+	for _, p := range autofl.BatteryProfiles() {
+		profiles = append(profiles, string(p))
+	}
 	axes := []struct {
 		name string
 		vals []string
@@ -557,6 +589,8 @@ func listAxes() {
 		{"envs", g.Envs},
 		{"policies", g.Policies},
 		{"async-modes", modes},
+		{"battery-profiles", profiles},
+		{"selection", autofl.Selections()},
 	}
 	for _, a := range axes {
 		fmt.Printf("%s: %s\n", a.name, strings.Join(a.vals, ", "))

@@ -13,6 +13,7 @@
 //	autoflsim -policy FedAvg-Random -devices 1000000 -sample 4096 -rounds 50
 //	autoflsim -policy AutoFL -async-mode async -alpha 0.5 -rounds 200
 //	autoflsim -async-mode semi-async -agg-k 20 -agg-deadline 30
+//	autoflsim -policy Battery-Weighted -battery-profile charger -rounds 200
 package main
 
 import (
@@ -44,13 +45,21 @@ func main() {
 		alpha        = flag.Float64("alpha", 0, "staleness-weighting exponent for async modes (0 = default 0.5)")
 		aggK         = flag.Int("agg-k", 0, "semi-async quorum: aggregate at this many arrivals (0 = half the cohort)")
 		aggDeadline  = flag.Float64("agg-deadline", 0, "semi-async aggregation deadline in seconds (0 = derived from in-flight completion times)")
+		battProfile  = flag.String("battery-profile", "", "attach the battery model with this harvesting profile: none | charger | solar-diurnal (empty = no battery)")
+		battCapacity = flag.Float64("battery-capacity", 0, "battery capacity in joules (0 = preset 2000 J; requires -battery-profile)")
+		battThresh   = flag.Float64("battery-threshold", 0, "participation threshold in joules — devices below it sit rounds out (0 = 15% of capacity)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	if *list {
 		for _, p := range autofl.Policies() {
 			fmt.Println(p)
 		}
+		// The battery-aware baselines are runnable but outside the
+		// paper's evaluation matrix.
+		fmt.Printf("%s (battery baseline)\n", autofl.PolicyBatteryWeighted)
+		fmt.Printf("%s (battery baseline)\n", autofl.PolicyAllAvailable)
 		return
 	}
 
@@ -75,6 +84,18 @@ func main() {
 			DeadlineSec:    *aggDeadline,
 		}
 	}
+	if *battProfile == "" && (*battCapacity != 0 || *battThresh != 0) {
+		fatal(fmt.Errorf("-battery-capacity/-battery-threshold require -battery-profile (use 'none' for a pure battery)"))
+	}
+	if *battProfile != "" {
+		// Degenerate combinations (negative capacity, threshold above
+		// capacity, …) surface as typed *sim.ConfigError from Open.
+		scenario.Battery = &autofl.BatterySpec{
+			Profile:    autofl.BatteryProfile(*battProfile),
+			CapacityJ:  *battCapacity,
+			ThresholdJ: *battThresh,
+		}
+	}
 
 	if *compare {
 		if err := runComparison(scenario); err != nil {
@@ -96,6 +117,7 @@ func main() {
 			n = 1
 		}
 		async := scenario.Aggregation != nil
+		battery := scenario.Battery != nil
 		sess.Observe(func(ev autofl.RoundEvent) {
 			if ev.Round%n != 0 && !ev.Converged {
 				return
@@ -106,6 +128,10 @@ func main() {
 				ev.Kept, ev.Participants, ev.Dropped)
 			if async {
 				fmt.Fprintf(os.Stderr, " stale=%.2f pending=%d", ev.MeanStaleness, ev.Pending)
+			}
+			if battery {
+				fmt.Fprintf(os.Stderr, " avail=%d depleted=%d charge=%.2f jain=%.3f",
+					ev.BatteryAvailable, ev.BatteryDepleted, ev.BatteryMeanCharge, ev.ParticipationJain)
 			}
 			fmt.Fprintln(os.Stderr)
 			if ev.Converged {
@@ -170,6 +196,62 @@ func printReport(r *autofl.Report) {
 	fmt.Printf("fleet energy:      %.0f J\n", r.EnergyToTargetJ)
 	fmt.Printf("global PPW:        %.3g progress/J\n", r.GlobalPPW)
 	fmt.Printf("local PPW:         %.3g progress/J\n", r.LocalPPW)
+	if b := r.Battery; b != nil {
+		fmt.Printf("participation jain: %.3f\n", b.ParticipationJain)
+		fmt.Printf("mean charge:       %.2f (available %d, depleted %d)\n",
+			b.MeanCharge, b.Available, b.Depleted)
+	}
+}
+
+// usage prints the flags in topic groups so the population, aggregation,
+// and battery knobs — which compose — read as one section instead of an
+// alphabetical jumble.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "Usage: autoflsim [flags]\n\nRuns one federated-learning scenario and prints measured efficiency.\n")
+	groups := []struct {
+		title string
+		names []string
+	}{
+		{"Scenario", []string{"workload", "setting", "data", "env", "policy", "seed", "rounds"}},
+		{"Population & fleet", []string{"devices", "sample", "shards"}},
+		{"Aggregation regime", []string{"async-mode", "alpha", "agg-k", "agg-deadline"}},
+		{"Battery & availability", []string{"battery-profile", "battery-capacity", "battery-threshold"}},
+		{"Output", []string{"compare", "progress", "progress-every", "list"}},
+	}
+	listed := make(map[string]bool)
+	printFlag := func(f *flag.Flag) {
+		name, u := flag.UnquoteUsage(f)
+		if name != "" {
+			name = " " + name
+		}
+		fmt.Fprintf(w, "  -%s%s\n    \t%s", f.Name, name, u)
+		if f.DefValue != "" && f.DefValue != "0" && f.DefValue != "false" {
+			fmt.Fprintf(w, " (default %s)", f.DefValue)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, g := range groups {
+		fmt.Fprintf(w, "\n%s:\n", g.title)
+		for _, n := range g.names {
+			if f := flag.Lookup(n); f != nil {
+				listed[n] = true
+				printFlag(f)
+			}
+		}
+	}
+	// Catch-all so a flag added without a group assignment still shows.
+	first := true
+	flag.VisitAll(func(f *flag.Flag) {
+		if listed[f.Name] {
+			return
+		}
+		if first {
+			fmt.Fprintf(w, "\nOther:\n")
+			first = false
+		}
+		printFlag(f)
+	})
 }
 
 func fatal(err error) {

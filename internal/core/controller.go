@@ -59,6 +59,14 @@ type Options struct {
 	// Alpha and Beta weight the accuracy and accuracy-improvement
 	// reward terms of Eq (7).
 	Alpha, Beta float64
+	// FairnessWeight scales an energy-fairness extension to the Eq (7)
+	// reward: each participant is additionally credited with its state
+	// of charge (sim.DeviceState.Battery), so under a battery model the
+	// controller learns to rotate load toward charged devices instead
+	// of re-draining the same cohort. Zero — the default — leaves the
+	// published reward untouched; without a battery model the term is
+	// constant across devices and the advantage baseline cancels it.
+	FairnessWeight float64
 	// SharedTables keys Q-tables by device performance category
 	// instead of device identity (§4 "Scalability", Fig 15): faster
 	// reward convergence at a small prediction-accuracy cost.
@@ -426,6 +434,13 @@ func (c *Controller) Feedback(ctx *sim.RoundContext, res *sim.RoundResult) {
 			// waiting for the (weak) round-composition covariance.
 			credit := 0.25 + 0.75*ctx.Devices[idx].Data.ClassFraction
 			r = -globalTerm - local + c.opts.Alpha*accuracy + c.opts.Beta*deltaAcc*credit
+			if c.opts.FairnessWeight != 0 {
+				// Energy-fairness extension: credit charge headroom.
+				// Only the per-device differences survive the advantage
+				// baseline below, so this steers *which* devices are
+				// picked, not the overall reward level.
+				r += c.opts.FairnessWeight * ctx.Devices[idx].Battery
+			}
 		}
 		c.pendReward = append(c.pendReward, r)
 		sum += r

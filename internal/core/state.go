@@ -40,6 +40,12 @@ type Buckets struct {
 	// Buckets keep their pre-async state space, and every synchronous
 	// observation (staleness 0) lands in bucket 0 either way.
 	Staleness []float64
+	// Battery buckets the device's state of charge in [0, 1]
+	// (sim.DeviceState.Battery) when a battery model is attached. Nil —
+	// the default — collapses the feature to a single bucket, keeping
+	// the pre-battery state space; battery-less runs observe charge 0
+	// and land in bucket 0 either way.
+	Battery []float64
 }
 
 // DefaultBuckets returns the Table 1 thresholds. S_Data carries one
@@ -101,9 +107,10 @@ func GlobalStateKey(w *workload.Model, p workload.GlobalParams) qlearn.State {
 }
 
 // LocalStateKey encodes one device's runtime-variance and data state:
-// S_Co_CPU, S_Co_MEM, S_Network, S_Data, and the async extension
-// S_Stale (last applied-update staleness; always bucket 0 in
-// synchronous runs).
+// S_Co_CPU, S_Co_MEM, S_Network, S_Data, and the extensions S_Stale
+// (last applied-update staleness; always bucket 0 in synchronous runs)
+// and S_Batt (state of charge; always bucket 0 without a battery
+// model).
 func (b Buckets) LocalStateKey(ds *sim.DeviceState) qlearn.State {
 	return qlearn.JoinState(
 		fmt.Sprintf("u%d", bucketWithNone(ds.Load.CPUUtil, b.CoCPU)),
@@ -111,6 +118,7 @@ func (b Buckets) LocalStateKey(ds *sim.DeviceState) qlearn.State {
 		fmt.Sprintf("n%d", dbscan.Bucket(ds.BandwidthMbps, b.NetworkMbps)),
 		fmt.Sprintf("d%d", dbscan.Bucket(ds.Data.ClassFraction, b.DataFraction)),
 		fmt.Sprintf("s%d", dbscan.Bucket(float64(ds.Staleness), b.Staleness)),
+		fmt.Sprintf("y%d", dbscan.Bucket(ds.Battery, b.Battery)),
 	)
 }
 
@@ -147,7 +155,7 @@ type StateCoder struct {
 	// Global-feature radices (fixed package-level boundaries).
 	nConv, nFC, nRC, nB, nE, nK uint64
 	// Local-feature radices (derived from the Buckets in use).
-	nU, nM, nN, nD, nS uint64
+	nU, nM, nN, nD, nS, nY uint64
 	// localSpace is the number of distinct local states; the full key
 	// is global*localSpace + local.
 	localSpace uint64
@@ -169,8 +177,9 @@ func NewStateCoder(b Buckets) StateCoder {
 		nN: uint64(dbscan.NumBuckets(b.NetworkMbps)),
 		nD: uint64(dbscan.NumBuckets(b.DataFraction)),
 		nS: uint64(dbscan.NumBuckets(b.Staleness)),
+		nY: uint64(dbscan.NumBuckets(b.Battery)),
 	}
-	c.localSpace = c.nU * c.nM * c.nN * c.nD * c.nS
+	c.localSpace = c.nU * c.nM * c.nN * c.nD * c.nS * c.nY
 	return c
 }
 
@@ -201,6 +210,7 @@ func (c StateCoder) LocalKey(ds *sim.DeviceState) qlearn.StateKey {
 	k = k*c.nN + uint64(dbscan.Bucket(ds.BandwidthMbps, c.buckets.NetworkMbps))
 	k = k*c.nD + uint64(dbscan.Bucket(ds.Data.ClassFraction, c.buckets.DataFraction))
 	k = k*c.nS + uint64(dbscan.Bucket(float64(ds.Staleness), c.buckets.Staleness))
+	k = k*c.nY + uint64(dbscan.Bucket(ds.Battery, c.buckets.Battery))
 	return qlearn.StateKey(k)
 }
 
@@ -212,13 +222,13 @@ func (c StateCoder) Key(global qlearn.StateKey, ds *sim.DeviceState) qlearn.Stat
 }
 
 // Format renders a packed key in the legacy string-key layout
-// ("c…|f…|r…|b…|e…|k…|u…|m…|n…|d…|s…") by peeling the mixed-radix
+// ("c…|f…|r…|b…|e…|k…|u…|m…|n…|d…|s…|y…") by peeling the mixed-radix
 // digits back off — the debug/serialization bridge between the two
 // forms.
 func (c StateCoder) Format(k qlearn.StateKey) string {
 	v := uint64(k)
-	digits := [11]uint64{}
-	radices := [11]uint64{c.nConv, c.nFC, c.nRC, c.nB, c.nE, c.nK, c.nU, c.nM, c.nN, c.nD, c.nS}
+	digits := [12]uint64{}
+	radices := [12]uint64{c.nConv, c.nFC, c.nRC, c.nB, c.nE, c.nK, c.nU, c.nM, c.nN, c.nD, c.nS, c.nY}
 	for i := len(radices) - 1; i >= 0; i-- {
 		digits[i] = v % radices[i]
 		v /= radices[i]
@@ -235,5 +245,6 @@ func (c StateCoder) Format(k qlearn.StateKey) string {
 		fmt.Sprintf("n%d", digits[8]),
 		fmt.Sprintf("d%d", digits[9]),
 		fmt.Sprintf("s%d", digits[10]),
+		fmt.Sprintf("y%d", digits[11]),
 	))
 }

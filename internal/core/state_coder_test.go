@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"autofl/internal/data"
+	"autofl/internal/dbscan"
 	"autofl/internal/device"
 	"autofl/internal/interference"
 	"autofl/internal/qlearn"
@@ -205,5 +206,42 @@ func TestStateCoderSpace(t *testing.T) {
 	legacy.Staleness = nil
 	if got := NewStateCoder(legacy).StateSpace(); got != 1620*128 {
 		t.Errorf("StateSpace without staleness buckets = %d, want %d", got, 1620*128)
+	}
+	// Battery buckets multiply the local space; the nil default keeps
+	// the battery digit at radix 1 (pinned by the 1620*512 check above).
+	batt := DefaultBuckets()
+	batt.Battery = []float64{0.25, 0.6}
+	if got := NewStateCoder(batt).StateSpace(); got != 1620*512*3 {
+		t.Errorf("StateSpace with 2 battery boundaries = %d, want %d", got, 1620*512*3)
+	}
+}
+
+// TestStateCoderBatteryDigit checks the battery state-of-charge digit:
+// distinct charge buckets produce distinct packed keys and Format stays
+// in lockstep with the legacy string key.
+func TestStateCoderBatteryDigit(t *testing.T) {
+	b := DefaultBuckets()
+	b.Battery = []float64{0.25, 0.6}
+	coder := NewStateCoder(b)
+	w := workload.CNNMNIST()
+	p := workload.S3
+	g := coder.GlobalKey(w, p)
+
+	seen := map[qlearn.StateKey]float64{}
+	for _, charge := range []float64{0, 0.1, 0.25, 0.4, 0.6, 0.9, 1} {
+		ds := deviceStateFor(0.2, 0.4, 30, 0.8)
+		ds.Battery = charge
+		full := coder.Key(g, &ds)
+		want := string(StateKey(GlobalStateKey(w, p), b.LocalStateKey(&ds)))
+		if got := coder.Format(full); got != want {
+			t.Errorf("charge %g: Format = %q, want legacy %q", charge, got, want)
+		}
+		for prev, pc := range seen {
+			sameBucket := dbscan.Bucket(charge, b.Battery) == dbscan.Bucket(pc, b.Battery)
+			if (full == prev) != sameBucket {
+				t.Errorf("charges %g and %g: key equality %v, same bucket %v", charge, pc, full == prev, sameBucket)
+			}
+		}
+		seen[full] = charge
 	}
 }

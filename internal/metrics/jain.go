@@ -1,0 +1,26 @@
+package metrics
+
+// JainFairness returns Jain's fairness index over the given allocation
+// — here, per-device participation counts: (Σx)² / (n·Σx²). It is 1
+// when every device participated equally, 1/n when a single device
+// took every slot, and 0 for an empty or all-zero allocation.
+func JainFairness(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	return JainFromMoments(sum, sumSq, len(xs))
+}
+
+// JainFromMoments computes Jain's index from the running moments
+// Σx and Σx² over n devices. The engine maintains these moments
+// incrementally (a count going c→c+1 adds 1 to the sum and 2c+1 to the
+// sum of squares), so a per-round fairness value costs O(participants),
+// not O(population).
+func JainFromMoments(sum, sumSq float64, n int) float64 {
+	if n == 0 || sumSq <= 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"autofl/internal/rng"
+)
+
+func TestJainFairnessUniform(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 7
+		}
+		if got := JainFairness(xs); math.Abs(got-1) > 1e-12 {
+			t.Errorf("uniform n=%d: Jain = %g, want 1", n, got)
+		}
+	}
+}
+
+func TestJainFairnessSingleParticipant(t *testing.T) {
+	for _, n := range []int{1, 4, 256} {
+		xs := make([]float64, n)
+		xs[n/2] = 42
+		want := 1 / float64(n)
+		if got := JainFairness(xs); math.Abs(got-want) > 1e-12 {
+			t.Errorf("single participant n=%d: Jain = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestJainFairnessDegenerate(t *testing.T) {
+	if got := JainFairness(nil); got != 0 {
+		t.Errorf("Jain(nil) = %g, want 0", got)
+	}
+	if got := JainFairness([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("Jain(zeros) = %g, want 0", got)
+	}
+}
+
+// TestJainFairnessBounds: random allocations stay within [1/n, 1], and
+// the incremental-moment form agrees with the direct form exactly when
+// the moments are accumulated the way the engine does (integer count
+// bumps: sum += 1, sumSq += 2c+1).
+func TestJainFairnessBounds(t *testing.T) {
+	s := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + s.IntN(300)
+		counts := make([]float64, n)
+		var sum, sumSq float64
+		events := s.IntN(5 * n)
+		for e := 0; e < events; e++ {
+			i := s.IntN(n)
+			c := counts[i]
+			counts[i]++
+			sum++
+			sumSq += 2*c + 1
+		}
+		direct := JainFairness(counts)
+		if events == 0 {
+			if direct != 0 {
+				t.Fatalf("no events: Jain = %g, want 0", direct)
+			}
+			continue
+		}
+		lo := 1 / float64(n)
+		if direct < lo-1e-12 || direct > 1+1e-12 {
+			t.Fatalf("n=%d events=%d: Jain = %g outside [%g, 1]", n, events, direct, lo)
+		}
+		if inc := JainFromMoments(sum, sumSq, n); inc != direct {
+			t.Fatalf("incremental moments diverge: %g vs %g", inc, direct)
+		}
+	}
+}
+
+// TestJainFairnessMoreEvenIsFairer: shifting a participation from the
+// most-loaded device to the least-loaded never lowers the index.
+func TestJainFairnessMoreEvenIsFairer(t *testing.T) {
+	xs := []float64{10, 3, 1, 0}
+	prev := JainFairness(xs)
+	for xs[0] > xs[3]+1 {
+		xs[0]--
+		xs[3]++
+		next := JainFairness(xs)
+		if next < prev-1e-12 {
+			t.Fatalf("evening the allocation lowered Jain: %g -> %g at %v", prev, next, xs)
+		}
+		prev = next
+	}
+}

@@ -1,0 +1,110 @@
+package policy
+
+// Battery-aware selection baselines, modeled on the client managers of
+// battery-powered FL frameworks (Arouj et al.): alongside the existing
+// FedAvg-Random (which ignores charge and wastes picks on unavailable
+// devices — the engine drops them), BatteryWeighted biases selection
+// toward charged devices and AllAvailable greedily takes everything
+// above the threshold. Both read DeviceState.Battery/Unavailable and
+// work — degenerating gracefully to uniform selection — when no
+// battery model is attached.
+
+import (
+	"autofl/internal/device"
+	"autofl/internal/rng"
+	"autofl/internal/sim"
+)
+
+// BatteryWeighted selects K participants among the available devices
+// with probability proportional to their state of charge: charged
+// devices work, drained devices rest and recover. The depletion
+// feedback (participating drains the weight) spreads participation
+// across the fleet, which is what raises Jain's index over uniform
+// random selection.
+type BatteryWeighted struct {
+	s *rng.Stream
+	// Reused round buffers so steady-state Select allocates nothing.
+	weights []float64
+	idxs    []int
+	sels    []sim.Selection
+}
+
+// NewBatteryWeighted builds the baseline with its own random stream.
+func NewBatteryWeighted(seed uint64) *BatteryWeighted {
+	return &BatteryWeighted{s: rng.New(seed)}
+}
+
+// Name implements sim.Policy.
+func (p *BatteryWeighted) Name() string { return "Battery-Weighted" }
+
+// Select implements sim.Policy: K weighted draws without replacement
+// over the available candidates (a drawn device's weight is zeroed).
+// Without a battery model every weight is zero and Categorical
+// degenerates to uniform draws.
+func (p *BatteryWeighted) Select(ctx *sim.RoundContext) []sim.Selection {
+	n := len(ctx.Devices)
+	if cap(p.weights) < n {
+		p.weights = make([]float64, n)
+		p.idxs = make([]int, n)
+	}
+	weights, idxs := p.weights[:0], p.idxs[:0]
+	for i := range ctx.Devices {
+		ds := &ctx.Devices[i]
+		if ds.Unavailable {
+			continue
+		}
+		weights = append(weights, ds.Battery)
+		idxs = append(idxs, i)
+	}
+	p.weights, p.idxs = weights, idxs
+	k := ctx.Params.K
+	if k > len(idxs) {
+		k = len(idxs)
+	}
+	out := p.sels[:0]
+	for d := 0; d < k; d++ {
+		j := p.s.Categorical(weights)
+		out = append(out, sim.Selection{Index: idxs[j], Target: device.CPU, Step: -1})
+		// Remove without replacement: swap the tail in. Categorical
+		// treats non-positive weights as zero, so order is all that
+		// changes.
+		last := len(weights) - 1
+		weights[j], idxs[j] = weights[last], idxs[last]
+		weights, idxs = weights[:last], idxs[:last]
+	}
+	p.sels = out
+	return out
+}
+
+// AllAvailable selects every device above the battery participation
+// threshold, in candidate order; the engine caps participation at
+// Params.K (sync) or the in-flight limit (async). It is the greedy
+// baseline: maximum per-round parallelism, no regard for who pays.
+type AllAvailable struct {
+	sels []sim.Selection
+}
+
+// NewAllAvailable builds the baseline. It draws no randomness.
+func NewAllAvailable() *AllAvailable { return &AllAvailable{} }
+
+// Name implements sim.Policy.
+func (p *AllAvailable) Name() string { return "All-Available" }
+
+// Select implements sim.Policy.
+func (p *AllAvailable) Select(ctx *sim.RoundContext) []sim.Selection {
+	out := p.sels[:0]
+	for i := range ctx.Devices {
+		if ctx.Devices[i].Unavailable {
+			continue
+		}
+		out = append(out, sim.Selection{Index: i, Target: device.CPU, Step: -1})
+	}
+	p.sels = out
+	return out
+}
+
+// Compile-time interface checks.
+var (
+	_ sim.Policy = (*BatteryWeighted)(nil)
+	_ sim.Policy = (*AllAvailable)(nil)
+)

@@ -1,0 +1,147 @@
+package policy
+
+import (
+	"testing"
+
+	"autofl/internal/battery"
+	"autofl/internal/sim"
+	"autofl/internal/workload"
+)
+
+// battCtx builds a synthetic candidate view: n devices, the given
+// subset unavailable, charge fractions as supplied (default 1.0).
+func battCtx(n, k int, unavailable map[int]bool, frac map[int]float64) *sim.RoundContext {
+	params := workload.S3
+	params.K = k
+	ctx := &sim.RoundContext{Params: params, Devices: make([]sim.DeviceState, n)}
+	for i := range ctx.Devices {
+		ctx.Devices[i].Battery = 1.0
+		if f, ok := frac[i]; ok {
+			ctx.Devices[i].Battery = f
+		}
+		ctx.Devices[i].Unavailable = unavailable[i]
+	}
+	return ctx
+}
+
+func TestBatteryWeightedSelectsKAvailable(t *testing.T) {
+	unav := map[int]bool{1: true, 4: true, 7: true}
+	p := NewBatteryWeighted(11)
+	for round := 0; round < 50; round++ {
+		ctx := battCtx(20, 6, unav, nil)
+		sels := p.Select(ctx)
+		if len(sels) != 6 {
+			t.Fatalf("round %d: selected %d devices, want K=6", round, len(sels))
+		}
+		seen := map[int]bool{}
+		for _, s := range sels {
+			if unav[s.Index] {
+				t.Fatalf("round %d: selected unavailable device %d", round, s.Index)
+			}
+			if seen[s.Index] {
+				t.Fatalf("round %d: device %d selected twice", round, s.Index)
+			}
+			seen[s.Index] = true
+		}
+	}
+}
+
+func TestBatteryWeightedFavorsCharge(t *testing.T) {
+	// Devices 0..9 nearly drained, 10..19 full: the charged half should
+	// dominate the draws.
+	frac := map[int]float64{}
+	for i := 0; i < 10; i++ {
+		frac[i] = 0.01
+	}
+	p := NewBatteryWeighted(3)
+	charged := 0
+	const rounds, k = 200, 4
+	for round := 0; round < rounds; round++ {
+		for _, s := range p.Select(battCtx(20, k, nil, frac)) {
+			if s.Index >= 10 {
+				charged++
+			}
+		}
+	}
+	if got := float64(charged) / float64(rounds*k); got < 0.9 {
+		t.Errorf("charged-half share = %.3f, want > 0.9 under 100:1 weights", got)
+	}
+}
+
+func TestBatteryWeightedUniformWithoutBattery(t *testing.T) {
+	// With no battery model every weight is 0 and Categorical falls
+	// back to uniform: every device should get picked eventually.
+	frac := map[int]float64{}
+	for i := 0; i < 12; i++ {
+		frac[i] = 0
+	}
+	p := NewBatteryWeighted(5)
+	picked := map[int]bool{}
+	for round := 0; round < 100; round++ {
+		for _, s := range p.Select(battCtx(12, 3, nil, frac)) {
+			picked[s.Index] = true
+		}
+	}
+	if len(picked) != 12 {
+		t.Errorf("uniform fallback picked %d/12 devices over 100 rounds", len(picked))
+	}
+}
+
+func TestBatteryWeightedFewerAvailableThanK(t *testing.T) {
+	unav := map[int]bool{}
+	for i := 2; i < 10; i++ {
+		unav[i] = true
+	}
+	p := NewBatteryWeighted(9)
+	sels := p.Select(battCtx(10, 5, unav, nil))
+	if len(sels) != 2 {
+		t.Fatalf("selected %d devices, want the 2 available", len(sels))
+	}
+}
+
+func TestAllAvailableSelectsEveryAvailable(t *testing.T) {
+	unav := map[int]bool{0: true, 3: true}
+	p := NewAllAvailable()
+	sels := p.Select(battCtx(8, 2, unav, nil))
+	if len(sels) != 6 {
+		t.Fatalf("selected %d devices, want all 6 available (engine caps at K)", len(sels))
+	}
+	for _, s := range sels {
+		if unav[s.Index] {
+			t.Fatalf("selected unavailable device %d", s.Index)
+		}
+	}
+}
+
+func TestBatteryPoliciesRunEndToEnd(t *testing.T) {
+	// Full engine smoke with a battery model attached: both baselines
+	// must converge under ideal IID and report battery stats.
+	spec := battery.Spec{CapacityJ: 50_000}
+	for _, p := range []sim.Policy{NewBatteryWeighted(7), NewAllAvailable()} {
+		cfg := baseCfg(21)
+		cfg.Battery = &spec
+		res := sim.New(cfg).Run(p)
+		if !res.Converged {
+			t.Errorf("%s did not converge under ideal IID with ample battery", p.Name())
+		}
+		if res.Battery == nil {
+			t.Fatalf("%s: battery-enabled run reported no BatteryStats", p.Name())
+		}
+		if j := res.Battery.ParticipationJain; j <= 0 || j > 1 {
+			t.Errorf("%s: ParticipationJain = %g, want (0, 1]", p.Name(), j)
+		}
+	}
+}
+
+func TestBatteryWeightedDeterminism(t *testing.T) {
+	spec := battery.Spec{CapacityJ: 2_000}
+	cfg := baseCfg(33)
+	cfg.Battery = &spec
+	a := sim.New(cfg).Run(NewBatteryWeighted(7))
+	b := sim.New(cfg).Run(NewBatteryWeighted(7))
+	if a.Rounds != b.Rounds || a.FinalAccuracy != b.FinalAccuracy ||
+		a.EnergyToTargetJ != b.EnergyToTargetJ ||
+		a.Battery.ParticipationJain != b.Battery.ParticipationJain {
+		t.Errorf("Battery-Weighted runs diverged under identical seeds:\n%+v\n%+v", a, b)
+	}
+}

@@ -131,6 +131,9 @@ func (e *Engine) runRoundAsync(pol Policy, round int, accuracy float64, sc *roun
 		}
 		res.Devices[v] = DeviceRound{Index: g}
 	}
+	if e.batt != nil {
+		res.BatteryAvailable, res.BatteryDepleted, res.BatteryMeanFrac = battViewStats(ctx.Devices)
+	}
 
 	// Dispatch: every selected device that is not already training
 	// starts now, up to Params.K updates in flight. Its completion is
@@ -194,6 +197,13 @@ func (e *Engine) runRoundAsync(pol Policy, round int, accuracy float64, sc *roun
 			p.extraJ[g] += activeJ - spec.IdleWatts()*busySec
 			p.lastStep[g] = int8(sel.Step)
 			p.lastTarget[g] = int8(sel.Target)
+		}
+		if e.batt != nil {
+			// The whole busy window's extra draw is charged at dispatch,
+			// mirroring the energy accounting above; the idle share
+			// arrives lazily via the next settle.
+			e.batt.model.Drain(g, activeJ-spec.IdleWatts()*busySec)
+			e.batt.participate(g)
 		}
 	}
 	res.Participants = dispatched
@@ -280,6 +290,9 @@ func (e *Engine) runRoundAsync(pol Policy, round int, accuracy float64, sc *roun
 	}
 	if p != nil {
 		p.idleSec += roundSec
+	}
+	if e.batt != nil {
+		res.ParticipationJain = e.batt.jain()
 	}
 
 	res.Accuracy = e.advanceAsync(ctx, res, traits)

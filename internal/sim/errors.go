@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"autofl/internal/battery"
+)
 
 // ConfigError reports a degenerate Config rejected by NewEngine: an
 // empty fleet, a participant count no fleet of that size can satisfy,
@@ -85,6 +89,37 @@ func (c *Config) validate() error {
 		}
 		if c.AggregateDeadlineSec < 0 {
 			return configErrf("AggregateDeadlineSec", "negative aggregation deadline %gs", c.AggregateDeadlineSec)
+		}
+	}
+	if b := c.Battery; b != nil {
+		if b.Harvest != battery.ProfileNone && b.CapacityJ <= 0 {
+			return configErrf("Battery.Harvest", "harvesting requires a battery: CapacityJ is %g J", b.CapacityJ)
+		}
+		if b.CapacityJ <= 0 {
+			return configErrf("Battery.CapacityJ", "battery capacity %g J is not positive", b.CapacityJ)
+		}
+		switch b.Harvest {
+		case battery.ProfileNone, battery.ProfileCharger, battery.ProfileSolar:
+		default:
+			return configErrf("Battery.Harvest", "unknown harvesting profile %q (want charger or solar-diurnal)", b.Harvest)
+		}
+		if b.ThresholdJ < 0 {
+			return configErrf("Battery.ThresholdJ", "negative participation threshold %g J", b.ThresholdJ)
+		}
+		if b.ThresholdJ > b.CapacityJ {
+			return configErrf("Battery.ThresholdJ", "participation threshold %g J exceeds the %g J capacity: no device could ever participate", b.ThresholdJ, b.CapacityJ)
+		}
+		if b.InitialFracLo < 0 || b.InitialFracHi > 1 || b.InitialFracLo > b.InitialFracHi {
+			return configErrf("Battery.InitialFrac", "initial state-of-charge range [%g, %g] is not within [0, 1]", b.InitialFracLo, b.InitialFracHi)
+		}
+		if b.HarvestW < 0 {
+			return configErrf("Battery.HarvestW", "negative harvest rate %g W", b.HarvestW)
+		}
+		if b.ChargerFrac < 0 || b.ChargerFrac > 1 {
+			return configErrf("Battery.ChargerFrac", "charger fraction %g outside [0, 1]", b.ChargerFrac)
+		}
+		if b.DaySec <= 0 {
+			return configErrf("Battery.DaySec", "diurnal period %g s is not positive", b.DaySec)
 		}
 	}
 	return nil

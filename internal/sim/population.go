@@ -229,6 +229,11 @@ func (e *Engine) fillView(shard, lo, hi, round int, cand []int32, devs []device.
 			// aggregation, never during the parallel observe pass.
 			devices[v].Staleness = int(e.async.lastStale[g])
 		}
+		if e.batt != nil {
+			// Candidate indices are distinct and shard-partitioned, so
+			// the per-device settle mutation never races.
+			e.observeBattery(&devices[v], g, devs[v].Spec.IdleWatts())
+		}
 	}
 }
 
@@ -261,6 +266,9 @@ func (e *Engine) runRoundPop(pol Policy, round int, accuracy float64, sc *roundS
 	}
 	for v := range res.Devices {
 		res.Devices[v] = DeviceRound{Index: int(sc.cand[v])}
+	}
+	if e.batt != nil {
+		res.BatteryAvailable, res.BatteryDepleted, res.BatteryMeanFrac = battViewStats(ctx.Devices)
 	}
 
 	// Post-selection actual loads, from per-(round, device) keyed
@@ -337,9 +345,16 @@ func (e *Engine) runRoundPop(pol Policy, round int, accuracy float64, sc *roundS
 		p.extraJ[g] += dr.EnergyJ - idle
 		p.lastStep[g] = int8(dr.Step)
 		p.lastTarget[g] = int8(dr.Target)
+		if e.batt != nil {
+			e.batt.model.Drain(g, dr.EnergyJ-idle)
+			e.batt.participate(g)
+		}
 	}
 	res.EnergyTotalJ = idleBase - participantIdle + res.EnergyParticipantsJ
 	p.idleSec += roundSec
+	if e.batt != nil {
+		res.ParticipationJain = e.batt.jain()
+	}
 
 	res.Accuracy = e.advancePop(ctx, res, traits)
 	return ctx, res
@@ -440,6 +455,11 @@ func (e *Engine) PopulationMemoryBytes() int {
 		// Asynchronous regimes add two packed bytes per device: the
 		// busy flag and the last-staleness record.
 		perDevice += len(e.async.busy) + len(e.async.lastStale)
+	}
+	if e.batt != nil {
+		// The battery subsystem adds 12 bytes per device: the packed
+		// charge/settle-time pair plus the participation count.
+		perDevice += e.batt.model.MemoryBytes() + len(e.batt.partCount)*4
 	}
 	return p.part.MemoryBytes() + perDevice
 }

@@ -33,6 +33,17 @@ type RoundInfo struct {
 	// updates it applied. Both are 0 in synchronous runs.
 	Pending       int
 	MeanStaleness float64
+	// BatteryAvailable, BatteryDepleted, and BatteryMeanCharge
+	// summarize the candidate view's battery state at observation:
+	// devices meeting the participation threshold, devices at zero
+	// charge, and the mean state of charge in [0, 1].
+	// ParticipationJain is Jain's fairness index over cumulative
+	// per-device participation counts. All zero without a battery
+	// model.
+	BatteryAvailable  int
+	BatteryDepleted   int
+	BatteryMeanCharge float64
+	ParticipationJain float64
 	// Converged reports whether this round reached the accuracy
 	// target (and therefore ended the run).
 	Converged bool
@@ -101,6 +112,8 @@ func (r *Run) Step() bool {
 		EnergyJ:            res.EnergyTotalJ,
 		ParticipantEnergyJ: res.EnergyParticipantsJ,
 		MeanStale:          res.MeanStaleness,
+		Jain:               res.ParticipationJain,
+		BatteryFrac:        res.BatteryMeanFrac,
 	})
 	r.staleSum += res.MeanStaleness
 	r.out.TimeToTargetSec += res.RoundSec
@@ -128,6 +141,10 @@ func (r *Run) Step() bool {
 		VirtualSec:         res.VirtualSec,
 		Pending:            res.PendingUpdates,
 		MeanStaleness:      res.MeanStaleness,
+		BatteryAvailable:   res.BatteryAvailable,
+		BatteryDepleted:    res.BatteryDepleted,
+		BatteryMeanCharge:  res.BatteryMeanFrac,
+		ParticipationJain:  res.ParticipationJain,
 		Converged:          converged,
 	}
 	return true
@@ -154,6 +171,14 @@ func (r *Run) finalizeInto(out *Result) {
 	}
 	if rt, ok := r.p.(interface{ RewardTrace() []float64 }); ok {
 		out.RewardTrace = rt.RewardTrace()
+	}
+	if r.e.batt != nil {
+		out.Battery = &BatteryStats{
+			ParticipationJain: r.last.ParticipationJain,
+			MeanFrac:          r.last.BatteryMeanCharge,
+			Available:         r.last.BatteryAvailable,
+			Depleted:          r.last.BatteryDepleted,
+		}
 	}
 }
 

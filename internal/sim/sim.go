@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"autofl/internal/battery"
 	"autofl/internal/data"
 	"autofl/internal/device"
 	"autofl/internal/interference"
@@ -138,6 +139,13 @@ type Config struct {
 	// completion times (StragglerFactor × median). Only valid with
 	// ModeSemiAsync.
 	AggregateDeadlineSec float64
+	// Battery attaches the per-device battery model (internal/battery):
+	// devices drain by their measured round energy plus idle draw,
+	// optionally harvest in virtual time, and fall out of the candidate
+	// set while below the participation threshold. Nil disables the
+	// subsystem entirely and reproduces the pre-battery engine byte for
+	// byte.
+	Battery *battery.Spec
 }
 
 // Defaults used when Config fields are zero.
@@ -194,6 +202,11 @@ func (c *Config) withDefaults() Config {
 	if out.Mode == ModeSemiAsync && out.AggregateK == 0 {
 		out.AggregateK = (out.Params.K + 1) / 2
 	}
+	if out.Battery != nil {
+		// Copy before defaulting: the caller's spec stays untouched.
+		b := out.Battery.WithDefaults()
+		out.Battery = &b
+	}
 	return out
 }
 
@@ -216,6 +229,14 @@ type DeviceState struct {
 	// The AutoFL controller buckets it into its packed state, so the
 	// Q-table can learn the async regime's in-flight dynamics.
 	Staleness int
+	// Battery is the device's battery state of charge in [0, 1] at
+	// observation time; 0 when the run has no battery model.
+	Battery float64
+	// Unavailable marks a device whose charge is below the battery
+	// participation threshold: sanitize excludes it from selection, so
+	// policies may skip it but cannot force it in. Always false without
+	// a battery model.
+	Unavailable bool
 }
 
 // RoundContext is everything a policy sees when selecting participants
@@ -366,6 +387,17 @@ type RoundResult struct {
 	// virtual-time arrival order; nil in ModeSync. Like Devices, it is
 	// an engine-owned buffer reused across rounds.
 	Arrivals []ArrivalUpdate
+	// BatteryAvailable, BatteryDepleted, and BatteryMeanFrac summarize
+	// the candidate view's battery state at observation time: devices
+	// meeting the participation threshold, devices at zero charge, and
+	// the mean state of charge. All zero without a battery model.
+	BatteryAvailable int
+	BatteryDepleted  int
+	BatteryMeanFrac  float64
+	// ParticipationJain is Jain's fairness index over cumulative
+	// per-device participation counts through this round; 0 without a
+	// battery model.
+	ParticipationJain float64
 }
 
 // ArrivalUpdate is one device update applied by an asynchronous
@@ -401,6 +433,12 @@ type RoundTrace struct {
 	// in ModeSync); replaying a trace prefix reproduces the horizon's
 	// staleness summary exactly.
 	MeanStale float64
+	// Jain and BatteryFrac carry the battery subsystem's per-round
+	// fairness index and mean candidate state of charge (both 0
+	// without a battery model), so horizon-prefix replay reproduces
+	// the battery summary at any shorter horizon.
+	Jain        float64
+	BatteryFrac float64
 }
 
 // Result summarizes a full FL run.
@@ -435,6 +473,9 @@ type Result struct {
 	RewardTrace []float64
 	// Rounds is the number of rounds executed.
 	Rounds int
+	// Battery summarizes the battery subsystem at the end of the run
+	// (see battery.go); nil without a battery model.
+	Battery *BatteryStats
 	// MeanStaleness averages the per-round mean applied-update
 	// staleness over the executed horizon (0 for ModeSync runs).
 	MeanStaleness float64
@@ -634,6 +675,9 @@ type Engine struct {
 	// async holds the asynchronous-aggregation state; nil in ModeSync
 	// (see async.go).
 	async *asyncState
+	// batt holds the battery-subsystem state; nil when Config.Battery
+	// is nil (see battery.go).
+	batt *battState
 	// barrier is the virtual-time queue the synchronous path resolves
 	// its round barrier through; reused across rounds.
 	barrier vtime.Queue
@@ -716,6 +760,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		e.async = newAsyncState(n)
 	}
+	if e.cfg.Battery != nil {
+		n := len(e.cfg.Fleet)
+		if e.pop != nil {
+			n = e.pop.n
+		}
+		e.batt = newBattState(*e.cfg.Battery, e.cfg.Seed, n)
+	}
 	return e, nil
 }
 
@@ -753,6 +804,9 @@ func (e *Engine) observe(sc *roundScratch, round int, accuracy float64) *RoundCo
 		}
 		if e.async != nil {
 			devices[i].Staleness = int(e.async.lastStale[i])
+		}
+		if e.batt != nil {
+			e.observeBattery(&devices[i], i, d.Spec.IdleWatts())
 		}
 	}
 	// Cache the fleet idle draw once per round. The loop order matches
@@ -809,6 +863,9 @@ func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratc
 	for i := range res.Devices {
 		res.Devices[i] = DeviceRound{Index: i}
 	}
+	if e.batt != nil {
+		res.BatteryAvailable, res.BatteryDepleted, res.BatteryMeanFrac = battViewStats(ctx.Devices)
+	}
 
 	// Per-participant completion times, under the loads actually in
 	// effect during execution: a co-runner can appear (or quit) after
@@ -820,6 +877,9 @@ func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratc
 		dr.Step = sel.Step
 		actual := e.cfg.Env.Interference.Actual(e.envRng, ctx.Devices[sel.Index].Load)
 		dr.CompSec, dr.CommSec = ctx.estimateWithLoad(sel.Index, sel.Target, sel.Step, actual)
+		if e.batt != nil {
+			e.batt.participate(sel.Index)
+		}
 	}
 
 	// Straggler deadline: the server fixes a reporting deadline from
@@ -879,6 +939,15 @@ func (e *Engine) runRound(p Policy, round int, accuracy float64, sc *roundScratc
 		})
 		res.EnergyTotalJ += dr.EnergyJ
 		res.EnergyParticipantsJ += dr.EnergyJ
+		if e.batt != nil {
+			// Drain the participant's energy above its idle draw: the
+			// idle share is integrated lazily at the next settle, so
+			// the two together drain exactly EnergyJ.
+			e.batt.model.Drain(i, dr.EnergyJ-ds.Device.Spec.IdleWatts()*roundSec)
+		}
+	}
+	if e.batt != nil {
+		res.ParticipationJain = e.batt.jain()
 	}
 
 	// Advance the global model.
@@ -958,6 +1027,11 @@ func sanitize(sc *roundScratch, ctx *RoundContext, sels []Selection) []Selection
 	out := sc.sels[:0]
 	for _, s := range sels {
 		if s.Index < 0 || s.Index >= n || seen[s.Index] {
+			continue
+		}
+		if ctx.Devices[s.Index].Unavailable {
+			// Below the battery participation threshold: excluded from
+			// the candidate set regardless of what the policy returned.
 			continue
 		}
 		seen[s.Index] = true

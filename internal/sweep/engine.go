@@ -23,6 +23,13 @@ type Outcome struct {
 	// (and omitted) under synchronous aggregation, so legacy outcomes
 	// keep their exact JSON bytes.
 	MeanStaleness float64 `json:"mean_staleness,omitempty"`
+	// ParticipationJain and BatteryMeanFrac summarize the battery
+	// subsystem at the end of the run: Jain's fairness index over
+	// cumulative per-device participation and the final-round mean
+	// state of charge. Always 0 (and omitted) for cells without a
+	// battery model, keeping legacy outcomes byte-identical.
+	ParticipationJain float64 `json:"participation_jain,omitempty"`
+	BatteryMeanFrac   float64 `json:"battery_mean_frac,omitempty"`
 	// Trace is the optional per-round payload a tracing runner
 	// attaches for the persistent cache's horizon-prefix serving
 	// (trace.go). It rides the runner chain only: the cache strips it

@@ -100,10 +100,12 @@ type Summary struct {
 	// The extension axes mirror Cell's: empty for groups at the
 	// default (synchronous, explicit-fleet) configuration, so legacy
 	// grids summarize to byte-identical JSON.
-	Mode    string `json:"mode,omitempty"`
-	Alpha   string `json:"alpha,omitempty"`
-	Devices string `json:"devices,omitempty"`
-	Sample  string `json:"sample,omitempty"`
+	Mode      string `json:"mode,omitempty"`
+	Alpha     string `json:"alpha,omitempty"`
+	Devices   string `json:"devices,omitempty"`
+	Sample    string `json:"sample,omitempty"`
+	Battery   string `json:"battery,omitempty"`
+	Selection string `json:"selection,omitempty"`
 	// Replicates counts the group's successful runs; Errors the
 	// failed (or panicked) ones.
 	Replicates int `json:"replicates"`
@@ -122,6 +124,12 @@ type Summary struct {
 	// pointer because struct omitempty never fires), keeping legacy
 	// output byte-identical.
 	MeanStaleness *Stats `json:"mean_staleness,omitempty"`
+	// ParticipationJain and BatteryMeanFrac aggregate the battery
+	// subsystem's fairness index and final mean state of charge,
+	// emitted only for groups on an explicit battery preset — same
+	// pointer convention as MeanStaleness.
+	ParticipationJain *Stats `json:"participation_jain,omitempty"`
+	BatteryMeanFrac   *Stats `json:"battery_mean_frac,omitempty"`
 }
 
 // Summaries aggregates the store's results by replicate group, sorted
@@ -147,8 +155,9 @@ func summarize(group []Result) Summary {
 		Workload: c.Workload, Setting: c.Setting, Data: c.Data,
 		Env: c.Env, Policy: c.Policy,
 		Mode: c.Mode, Alpha: c.Alpha, Devices: c.Devices, Sample: c.Sample,
+		Battery: c.Battery, Selection: c.Selection,
 	}
-	var rounds, timeTo, energy, gppw, lppw, acc, stale []float64
+	var rounds, timeTo, energy, gppw, lppw, acc, stale, jain, batt []float64
 	converged := 0
 	for _, r := range group {
 		if r.Err != "" {
@@ -166,6 +175,8 @@ func summarize(group []Result) Summary {
 		lppw = append(lppw, r.Outcome.LocalPPW)
 		acc = append(acc, r.Outcome.FinalAccuracy)
 		stale = append(stale, r.Outcome.MeanStaleness)
+		jain = append(jain, r.Outcome.ParticipationJain)
+		batt = append(batt, r.Outcome.BatteryMeanFrac)
 	}
 	if sum.Replicates > 0 {
 		sum.ConvergedFrac = float64(converged) / float64(sum.Replicates)
@@ -179,6 +190,11 @@ func summarize(group []Result) Summary {
 	if c.Mode != "" {
 		st := statsOf(stale)
 		sum.MeanStaleness = &st
+	}
+	if c.Battery != "" {
+		j, b := statsOf(jain), statsOf(batt)
+		sum.ParticipationJain = &j
+		sum.BatteryMeanFrac = &b
 	}
 	return sum
 }
@@ -220,24 +236,45 @@ var csvHeaderExt = []string{
 	"mean_staleness_mean", "mean_staleness_stddev",
 }
 
-// extended reports whether the summary uses any extension axis.
+// csvHeaderBattery names the battery columns appended — after the
+// aggregation/population group — when any summary sits on a battery or
+// selection axis. A separate group so sweeps that never touch the
+// battery axes (including pre-battery extended sweeps) keep their
+// exact CSV bytes.
+var csvHeaderBattery = []string{
+	"battery", "selection",
+	"participation_jain_mean", "participation_jain_stddev",
+	"battery_mean_frac_mean", "battery_mean_frac_stddev",
+}
+
+// extended reports whether the summary uses any aggregation or
+// population extension axis.
 func (s Summary) extended() bool {
 	return s.Mode != "" || s.Alpha != "" || s.Devices != "" || s.Sample != ""
+}
+
+// batteryExtended reports whether the summary uses a battery axis.
+func (s Summary) batteryExtended() bool {
+	return s.Battery != "" || s.Selection != ""
 }
 
 // WriteCSV writes one row per replicate-group summary.
 func (s *ResultStore) WriteCSV(w io.Writer) error {
 	sums := s.Summaries()
-	ext := false
+	ext, battExt := false, false
 	for _, sum := range sums {
-		if sum.extended() {
-			ext = true
-			break
-		}
+		ext = ext || sum.extended()
+		battExt = battExt || sum.batteryExtended()
 	}
 	header := csvHeader
+	if ext || battExt {
+		header = append([]string(nil), csvHeader...)
+	}
 	if ext {
-		header = append(append([]string(nil), csvHeader...), csvHeaderExt...)
+		header = append(header, csvHeaderExt...)
+	}
+	if battExt {
+		header = append(header, csvHeaderBattery...)
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
@@ -261,6 +298,16 @@ func (s *ResultStore) WriteCSV(w io.Writer) error {
 				stMean, stStd = f(sum.MeanStaleness.Mean), f(sum.MeanStaleness.Stddev)
 			}
 			row = append(row, sum.Mode, sum.Alpha, sum.Devices, sum.Sample, stMean, stStd)
+		}
+		if battExt {
+			jMean, jStd, bMean, bStd := "", "", "", ""
+			if sum.ParticipationJain != nil {
+				jMean, jStd = f(sum.ParticipationJain.Mean), f(sum.ParticipationJain.Stddev)
+			}
+			if sum.BatteryMeanFrac != nil {
+				bMean, bStd = f(sum.BatteryMeanFrac.Mean), f(sum.BatteryMeanFrac.Stddev)
+			}
+			row = append(row, sum.Battery, sum.Selection, jMean, jStd, bMean, bStd)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

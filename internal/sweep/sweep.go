@@ -48,20 +48,30 @@ type Cell struct {
 	// aggregation, explicit fleet), and an empty value contributes no
 	// bytes to the cell identity, so pre-extension grids keep their
 	// seeds and cache digests.
-	Mode      string `json:"mode,omitempty"`
-	Alpha     string `json:"alpha,omitempty"`
-	Devices   string `json:"devices,omitempty"`
-	Sample    string `json:"sample,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	Alpha   string `json:"alpha,omitempty"`
+	Devices string `json:"devices,omitempty"`
+	Sample  string `json:"sample,omitempty"`
+	// Battery and Selection span the battery subsystem: Battery names a
+	// harvesting preset ("none", "charger", "solar-diurnal") that
+	// attaches the battery model, and Selection names a battery-aware
+	// selection baseline ("random", "battery_weighted",
+	// "all_available") that replaces the Policy axis for the cell (the
+	// two are mutually exclusive). Both are extension axes like
+	// Mode/Alpha: empty contributes no identity bytes.
+	Battery   string `json:"battery,omitempty"`
+	Selection string `json:"selection,omitempty"`
 	Replicate int    `json:"replicate"`
 }
 
 // extensions lists the tagged extension axes in their fixed encoding
 // order. The tag names are distinct and fixed forever: identity
-// encoding relies on them.
-func (c Cell) extensions() [4]struct{ Tag, Val string } {
-	return [4]struct{ Tag, Val string }{
+// encoding relies on them. New axes append — earlier tags never move.
+func (c Cell) extensions() [6]struct{ Tag, Val string } {
+	return [6]struct{ Tag, Val string }{
 		{"mode", c.Mode}, {"alpha", c.Alpha},
 		{"devices", c.Devices}, {"sample", c.Sample},
+		{"battery", c.Battery}, {"selection", c.Selection},
 	}
 }
 
@@ -111,7 +121,8 @@ func sameGroup(a, b Cell) bool {
 	return a.Workload == b.Workload && a.Setting == b.Setting &&
 		a.Data == b.Data && a.Env == b.Env && a.Policy == b.Policy &&
 		a.Mode == b.Mode && a.Alpha == b.Alpha &&
-		a.Devices == b.Devices && a.Sample == b.Sample
+		a.Devices == b.Devices && a.Sample == b.Sample &&
+		a.Battery == b.Battery && a.Selection == b.Selection
 }
 
 // less orders cells by axis values with the replicate compared
@@ -144,6 +155,12 @@ func (c Cell) less(o Cell) bool {
 	if c.Sample != o.Sample {
 		return c.Sample < o.Sample
 	}
+	if c.Battery != o.Battery {
+		return c.Battery < o.Battery
+	}
+	if c.Selection != o.Selection {
+		return c.Selection < o.Selection
+	}
 	return c.Replicate < o.Replicate
 }
 
@@ -161,10 +178,16 @@ type Grid struct {
 	// per-round cohort sizes. Empty axes contribute the single default
 	// value (synchronous aggregation, the scenario's explicit fleet)
 	// and leave cell identities unchanged.
-	Modes      []string `json:"modes,omitempty"`
-	Alphas     []string `json:"alphas,omitempty"`
-	Devices    []string `json:"devices,omitempty"`
-	Samples    []string `json:"samples,omitempty"`
+	Modes   []string `json:"modes,omitempty"`
+	Alphas  []string `json:"alphas,omitempty"`
+	Devices []string `json:"devices,omitempty"`
+	Samples []string `json:"samples,omitempty"`
+	// Batteries and Selections span battery presets and battery-aware
+	// selection baselines (see Cell.Battery/Cell.Selection). Empty axes
+	// contribute the single default value (no battery model, the Policy
+	// axis's selection) and leave cell identities unchanged.
+	Batteries  []string `json:"batteries,omitempty"`
+	Selections []string `json:"selections,omitempty"`
 	Replicates int      `json:"replicates,omitempty"`
 	// Seed is the grid master seed every cell seed derives from.
 	Seed uint64 `json:"seed"`
@@ -196,13 +219,15 @@ func (g Grid) Size() int {
 		len(axisOrDefault(g.Modes)) *
 		len(axisOrDefault(g.Alphas)) *
 		len(axisOrDefault(g.Devices)) *
-		len(axisOrDefault(g.Samples))
+		len(axisOrDefault(g.Samples)) *
+		len(axisOrDefault(g.Batteries)) *
+		len(axisOrDefault(g.Selections))
 	return n * g.replicates()
 }
 
 // Cells expands the grid in deterministic order: workloads, settings,
 // data, environments, policies, modes, alphas, devices, samples,
-// replicates — the slowest axis first.
+// batteries, selections, replicates — the slowest axis first.
 func (g Grid) Cells() []Cell {
 	out := make([]Cell, 0, g.Size())
 	for _, w := range axisOrDefault(g.Workloads) {
@@ -214,14 +239,19 @@ func (g Grid) Cells() []Cell {
 							for _, a := range axisOrDefault(g.Alphas) {
 								for _, dv := range axisOrDefault(g.Devices) {
 									for _, sm := range axisOrDefault(g.Samples) {
-										for r := 0; r < g.replicates(); r++ {
-											out = append(out, Cell{
-												Workload: w, Setting: s, Data: d,
-												Env: e, Policy: p,
-												Mode: m, Alpha: a,
-												Devices: dv, Sample: sm,
-												Replicate: r,
-											})
+										for _, bt := range axisOrDefault(g.Batteries) {
+											for _, sl := range axisOrDefault(g.Selections) {
+												for r := 0; r < g.replicates(); r++ {
+													out = append(out, Cell{
+														Workload: w, Setting: s, Data: d,
+														Env: e, Policy: p,
+														Mode: m, Alpha: a,
+														Devices: dv, Sample: sm,
+														Battery: bt, Selection: sl,
+														Replicate: r,
+													})
+												}
+											}
 										}
 									}
 								}

@@ -31,6 +31,12 @@ type RunTrace struct {
 	// aggregation); absent otherwise, keeping synchronous trace
 	// payloads byte-identical to their pre-async form.
 	Staleness []float64 `json:"staleness,omitempty"`
+	// Jain and BatteryFrac are the per-round participation-fairness
+	// index and candidate mean state of charge. Recorded only for
+	// battery-enabled runs; absent otherwise, keeping batteryless trace
+	// payloads byte-identical to their pre-battery form.
+	Jain        []float64 `json:"jain,omitempty"`
+	BatteryFrac []float64 `json:"battery_frac,omitempty"`
 }
 
 // NewRunTrace converts a finished run's per-round record (Trace plus
@@ -60,6 +66,14 @@ func NewRunTrace(res *sim.Result) *RunTrace {
 			break
 		}
 	}
+	if res.Battery != nil {
+		t.Jain = make([]float64, len(res.Trace))
+		t.BatteryFrac = make([]float64, len(res.Trace))
+		for i, r := range res.Trace {
+			t.Jain[i] = r.Jain
+			t.BatteryFrac[i] = r.BatteryFrac
+		}
+	}
 	return t
 }
 
@@ -71,7 +85,9 @@ func (t *RunTrace) Valid() bool {
 	}
 	n := len(t.Sec)
 	return len(t.EnergyJ) == n && len(t.ParticipantEnergyJ) == n && len(t.Accuracy) == n &&
-		(len(t.Staleness) == 0 || len(t.Staleness) == n)
+		(len(t.Staleness) == 0 || len(t.Staleness) == n) &&
+		(len(t.Jain) == 0 || len(t.Jain) == n) &&
+		(len(t.BatteryFrac) == 0 || len(t.BatteryFrac) == n)
 }
 
 // Rounds is the number of recorded rounds.
@@ -98,6 +114,7 @@ func (t *RunTrace) OutcomeAt(rounds int) (Outcome, bool) {
 	}
 	acc := t.AccuracyFloor
 	staleSum := 0.0
+	jain, battFrac := 0.0, 0.0
 	for i := 0; i < rounds && i < len(t.Sec); i++ {
 		acc = t.Accuracy[i]
 		res.Rounds++
@@ -106,6 +123,11 @@ func (t *RunTrace) OutcomeAt(rounds int) (Outcome, bool) {
 		res.ParticipantEnergyToTargetJ += t.ParticipantEnergyJ[i]
 		if len(t.Staleness) > 0 {
 			staleSum += t.Staleness[i]
+		}
+		if len(t.Jain) > 0 {
+			// The battery fields report last-round values, not sums:
+			// replay carries the latest round's numbers forward.
+			jain, battFrac = t.Jain[i], t.BatteryFrac[i]
 		}
 		if !res.Converged && acc >= t.TargetAccuracy {
 			res.Converged = true
@@ -125,13 +147,15 @@ func (t *RunTrace) OutcomeAt(rounds int) (Outcome, bool) {
 		return Outcome{}, false
 	}
 	return Outcome{
-		Converged:       res.Converged,
-		Rounds:          res.Rounds,
-		TimeToTargetSec: res.TimeToTargetSec,
-		EnergyToTargetJ: res.EnergyToTargetJ,
-		GlobalPPW:       res.GlobalPPW(),
-		LocalPPW:        res.LocalPPW(),
-		FinalAccuracy:   res.FinalAccuracy,
-		MeanStaleness:   res.MeanStaleness,
+		Converged:         res.Converged,
+		Rounds:            res.Rounds,
+		TimeToTargetSec:   res.TimeToTargetSec,
+		EnergyToTargetJ:   res.EnergyToTargetJ,
+		GlobalPPW:         res.GlobalPPW(),
+		LocalPPW:          res.LocalPPW(),
+		FinalAccuracy:     res.FinalAccuracy,
+		MeanStaleness:     res.MeanStaleness,
+		ParticipationJain: jain,
+		BatteryMeanFrac:   battFrac,
 	}, true
 }

@@ -33,6 +33,16 @@ type RoundEvent struct {
 	// Reward is the AutoFL controller's mean per-round reward; 0 for
 	// non-learning policies.
 	Reward float64
+	// BatteryAvailable and BatteryDepleted count the round's candidate
+	// devices above the participation threshold and at zero charge;
+	// BatteryMeanCharge is the candidates' mean state of charge in
+	// [0, 1], and ParticipationJain is Jain's fairness index over
+	// cumulative per-device participation. All zero for scenarios
+	// without a battery model.
+	BatteryAvailable  int
+	BatteryDepleted   int
+	BatteryMeanCharge float64
+	ParticipationJain float64
 	// Converged reports whether this round reached the accuracy
 	// target (ending the run).
 	Converged bool
@@ -114,6 +124,10 @@ func (s *Session) Step() (RoundEvent, bool) {
 		VirtualSec:         info.VirtualSec,
 		Pending:            info.Pending,
 		MeanStaleness:      info.MeanStaleness,
+		BatteryAvailable:   info.BatteryAvailable,
+		BatteryDepleted:    info.BatteryDepleted,
+		BatteryMeanCharge:  info.BatteryMeanCharge,
+		ParticipationJain:  info.ParticipationJain,
 		Converged:          info.Converged,
 	}
 	if s.rewards != nil {
